@@ -1,0 +1,42 @@
+// Command statediagram emits the Figure 1 state diagram of AlgAU in
+// Graphviz DOT format for a given diameter bound:
+//
+//	statediagram -d 2 > algau.dot && dot -Tsvg algau.dot -o algau.svg
+//
+// AA transitions are solid black, AF dashed red, FA dotted blue, matching
+// the paper's figure legend.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"thinunison/internal/core"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "statediagram:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	d := flag.Int("d", 1, "diameter bound D (k = 3D+2)")
+	edges := flag.Bool("edges", false, "print the arrow list instead of DOT")
+	flag.Parse()
+
+	au, err := core.NewAU(*d)
+	if err != nil {
+		return err
+	}
+	if *edges {
+		for _, e := range au.DiagramEdges() {
+			fmt.Printf("%-3s %6s -> %-6s\n", e.Type, e.From, e.To)
+		}
+		return nil
+	}
+	fmt.Print(au.DOT())
+	return nil
+}

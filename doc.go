@@ -1,0 +1,31 @@
+// Package thinunison is a Go implementation of the self-stabilizing stone
+// age algorithms of Emek & Keren, "A Thin Self-Stabilizing Asynchronous
+// Unison Algorithm with Applications to Fault Tolerant Biological Networks"
+// (PODC 2021).
+//
+// The centerpiece is AlgAU, a deterministic self-stabilizing asynchronous
+// unison (AU) algorithm for graphs of diameter at most D whose state space
+// is O(D) — independent of the number of nodes — and whose stabilization
+// time is O(D³) rounds (Theorem 1.1). On top of it the package provides:
+//
+//   - a self-stabilizing synchronizer (Corollary 1.2) lifting any
+//     synchronous self-stabilizing stone age algorithm to asynchronous
+//     schedulers;
+//   - synchronous self-stabilizing leader election (Theorem 1.3) and
+//     maximal independent set (Theorem 1.4) algorithms with O(D) states,
+//     built on a Restart module (Theorem 3.1);
+//   - execution substrates: deterministic step engines under adversarial
+//     schedulers, and a goroutine-per-node concurrent runtime;
+//   - the failed reset-based AU attempt of Appendix A together with its
+//     Figure 2 live-lock, for comparison;
+//   - a full experiment harness regenerating every table and figure of the
+//     paper (see DESIGN.md and EXPERIMENTS.md).
+//
+// The root package is a high-level facade; the implementation lives in the
+// internal packages (internal/core is AlgAU itself). Quick start:
+//
+//	g, _ := thinunison.Cycle(8)
+//	u, _ := thinunison.NewUnison(g, thinunison.WithSeed(1))
+//	rounds, _ := u.RunUntilStabilized(100_000)
+//	fmt.Println("synchronized after", rounds, "rounds; clocks:", u.Clocks())
+package thinunison

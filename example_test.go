@@ -1,0 +1,59 @@
+package thinunison_test
+
+import (
+	"fmt"
+
+	"thinunison"
+)
+
+// ExampleNewUnison shows the core loop: build a graph, start the
+// self-stabilizing clock from arbitrary states, wait for synchronization.
+func ExampleNewUnison() {
+	g, err := thinunison.Cycle(6)
+	if err != nil {
+		panic(err)
+	}
+	u, err := thinunison.NewUnison(g, thinunison.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	if _, err := u.RunUntilStabilized(u.StabilizationBudget()); err != nil {
+		panic(err)
+	}
+	fmt.Println("states per node:", u.States())
+	fmt.Println("stabilized:", u.Stabilized())
+	// Output:
+	// states per node: 42
+	// stabilized: true
+}
+
+// ExampleSolveMIS computes a maximal independent set with anonymous
+// finite-state nodes.
+func ExampleSolveMIS() {
+	g, err := thinunison.Path(5)
+	if err != nil {
+		panic(err)
+	}
+	res, err := thinunison.SolveMIS(g, thinunison.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("is MIS:", g.IsMaximalIndependentSet(res.InSet))
+	// Output:
+	// is MIS: true
+}
+
+// ExampleSolveLeaderElection elects exactly one leader without identifiers.
+func ExampleSolveLeaderElection() {
+	g, err := thinunison.Complete(5)
+	if err != nil {
+		panic(err)
+	}
+	res, err := thinunison.SolveLeaderElection(g, thinunison.WithSeed(2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("a leader was elected:", res.Leader >= 0 && res.Leader < g.N())
+	// Output:
+	// a leader was elected: true
+}

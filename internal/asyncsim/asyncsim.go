@@ -1,0 +1,136 @@
+// Package asyncsim executes procedural SA algorithms (node programs over
+// arbitrary comparable state types) under the asynchronous adversarial
+// schedulers of package sched, mirroring the step semantics of package sim:
+// at step t every activated node senses the configuration C_t (the set of
+// distinct states in its inclusive neighborhood) and all activated nodes
+// update simultaneously.
+//
+// It is the asynchronous counterpart of package syncsim and the execution
+// substrate for the synchronizer of Corollary 1.2, whose product states are
+// structs rather than dense integers.
+package asyncsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/syncsim"
+)
+
+// Engine drives one asynchronous execution of a node program.
+type Engine[S comparable] struct {
+	g       *graph.Graph
+	step    syncsim.StepFunc[S]
+	sch     sched.Scheduler
+	states  []S
+	next    []S
+	rng     *rand.Rand
+	stepNum int
+	tracker *sched.RoundTracker
+	buf     []S
+}
+
+// New returns an engine with the given initial configuration and scheduler
+// (nil means synchronous).
+func New[S comparable](g *graph.Graph, step syncsim.StepFunc[S], initial []S, s sched.Scheduler, seed int64) (*Engine[S], error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) != g.N() {
+		return nil, fmt.Errorf("asyncsim: %d initial states for %d nodes", len(initial), g.N())
+	}
+	if s == nil {
+		s = sched.NewSynchronous()
+	}
+	states := make([]S, len(initial))
+	copy(states, initial)
+	return &Engine[S]{
+		g:       g,
+		step:    step,
+		sch:     s,
+		states:  states,
+		next:    make([]S, len(initial)),
+		rng:     rand.New(rand.NewSource(seed)),
+		tracker: sched.NewRoundTracker(g.N()),
+	}, nil
+}
+
+// Graph returns the underlying graph.
+func (e *Engine[S]) Graph() *graph.Graph { return e.g }
+
+// Step executes one asynchronous step.
+func (e *Engine[S]) Step() {
+	activated := e.sch.Activations(e.stepNum, e.g.N())
+	copy(e.next, e.states)
+	for _, v := range activated {
+		e.next[v] = e.step(e.states[v], e.sense(v), e.rng)
+	}
+	e.states, e.next = e.next, e.states
+	e.tracker.Observe(activated)
+	e.stepNum++
+}
+
+func (e *Engine[S]) sense(v int) []S {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, e.states[v])
+	for _, u := range e.g.Neighbors(v) {
+		s := e.states[u]
+		dup := false
+		for _, t := range e.buf {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.buf = append(e.buf, s)
+		}
+	}
+	return e.buf
+}
+
+// Rounds returns the number of completed rounds (round operator ϱ).
+func (e *Engine[S]) Rounds() int { return e.tracker.Rounds() }
+
+// Steps returns the number of steps executed.
+func (e *Engine[S]) Steps() int { return e.stepNum }
+
+// State returns the current state of node v.
+func (e *Engine[S]) State(v int) S { return e.states[v] }
+
+// States returns a copy of the configuration.
+func (e *Engine[S]) States() []S {
+	out := make([]S, len(e.states))
+	copy(out, e.states)
+	return out
+}
+
+// SetState overwrites node v's state (transient fault injection).
+func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }
+
+// RunUntil runs until cond holds or maxRounds elapse; reports rounds
+// consumed and whether cond held.
+func (e *Engine[S]) RunUntil(cond func(e *Engine[S]) bool, maxRounds int) (int, bool) {
+	start := e.tracker.Rounds()
+	if cond(e) {
+		return 0, true
+	}
+	for e.tracker.Rounds()-start < maxRounds {
+		e.Step()
+		if cond(e) {
+			return e.tracker.Rounds() - start, true
+		}
+	}
+	return maxRounds, false
+}
+
+// RunRounds executes steps until the given number of additional rounds have
+// completed.
+func (e *Engine[S]) RunRounds(rounds int) {
+	target := e.tracker.Rounds() + rounds
+	for e.tracker.Rounds() < target {
+		e.Step()
+	}
+}

@@ -1,0 +1,116 @@
+package asyncsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/asyncsim"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/syncsim"
+)
+
+func orStep(self bool, sensed []bool, _ *rand.Rand) bool {
+	return syncsim.Sensed(sensed, func(b bool) bool { return b })
+}
+
+func TestNewValidation(t *testing.T) {
+	g, err := graph.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asyncsim.New(g, orStep, []bool{true}, nil, 1); err == nil {
+		t.Error("wrong-length initial should fail")
+	}
+	disc, err := graph.New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := asyncsim.New(disc, orStep, []bool{false, false}, nil, 1); err == nil {
+		t.Error("disconnected graph should fail")
+	}
+}
+
+// TestDefaultSchedulerIsSynchronous: nil scheduler behaves synchronously,
+// matching the syncsim engine round for round.
+func TestDefaultSchedulerIsSynchronous(t *testing.T) {
+	g, err := graph.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := []bool{true, false, false, false, false}
+	async, err := asyncsim.New(g, orStep, init, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sync, err := syncsim.New(g, orStep, init, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		async.Step()
+		sync.Round()
+		for v := 0; v < g.N(); v++ {
+			if async.State(v) != sync.State(v) {
+				t.Fatalf("step %d node %d: async %v != sync %v", i, v, async.State(v), sync.State(v))
+			}
+		}
+	}
+	if async.Rounds() != 4 || async.Steps() != 4 {
+		t.Errorf("Rounds=%d Steps=%d", async.Rounds(), async.Steps())
+	}
+}
+
+// TestOnlyActivatedNodesMove: under round-robin, exactly the activated node
+// may change state in each step.
+func TestOnlyActivatedNodesMove(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := asyncsim.New(g, orStep, []bool{true, false, false, false}, sched.NewRoundRobin(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := eng.States()
+	for step := 0; step < 8; step++ {
+		eng.Step()
+		cur := eng.States()
+		for v := range cur {
+			if v != step%4 && cur[v] != prev[v] {
+				t.Fatalf("step %d: non-activated node %d changed", step, v)
+			}
+		}
+		prev = cur
+	}
+}
+
+func TestRunUntilAndRunRounds(t *testing.T) {
+	g, err := graph.Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := make([]bool, 6)
+	init[0] = true
+	eng, err := asyncsim.New(g, orStep, init, sched.NewRoundRobin(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ok := eng.RunUntil(func(e *asyncsim.Engine[bool]) bool { return e.State(5) }, 20)
+	if !ok {
+		t.Fatal("OR never reached the end of the path")
+	}
+	if rounds > 6 {
+		t.Errorf("took %d rounds, expected at most 6", rounds)
+	}
+	before := eng.Rounds()
+	eng.RunRounds(3)
+	if eng.Rounds() != before+3 {
+		t.Errorf("RunRounds advanced %d rounds", eng.Rounds()-before)
+	}
+	// Budget exhaustion path.
+	eng.SetState(0, false)
+	if _, ok := eng.RunUntil(func(e *asyncsim.Engine[bool]) bool { return false }, 2); ok {
+		t.Error("impossible condition reported true")
+	}
+}

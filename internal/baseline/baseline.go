@@ -1,0 +1,101 @@
+// Package baseline implements comparison algorithms for the Sec. 5
+// discussion: the classic self-stabilizing unison in the style of Awerbuch,
+// Kutten, Mansour, Patt-Shamir and Varghese (STOC 1993), whose rule is
+//
+//	clock(v) ← min over N+(v) of clock + 1,
+//
+// run here with a bounded clock range M standing in for the unbounded
+// counter of the original (the original needs an unbounded — or Ω(log n)
+// with IDs/reset — state space; any bounded M without a reset mechanism
+// makes the algorithm incorrect once wraparound configurations arise, which
+// is exactly the gap AlgAU closes with O(D) states).
+//
+// The min-rule baseline stabilizes in O(D) rounds from any configuration
+// when M is effectively unbounded (larger than the execution horizon), which
+// our experiments use to compare stabilization *time* against AlgAU, while
+// the state-space comparison counts the states each algorithm needs for a
+// given execution horizon.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+)
+
+// MinUnison is the min-rule unison with clock values 0..M-1 (no wraparound;
+// M must exceed the execution horizon for correct behavior, emulating the
+// unbounded counter).
+type MinUnison struct {
+	m int
+}
+
+var (
+	_ sa.Algorithm = (*MinUnison)(nil)
+	_ sa.Namer     = (*MinUnison)(nil)
+)
+
+// NewMinUnison returns the baseline with clock range M >= 2.
+func NewMinUnison(m int) (*MinUnison, error) {
+	if m < 2 {
+		return nil, fmt.Errorf("baseline: clock range must be >= 2, got %d", m)
+	}
+	return &MinUnison{m: m}, nil
+}
+
+// M returns the clock range.
+func (b *MinUnison) M() int { return b.m }
+
+// NumStates returns the state count M — the quantity the Sec. 5 comparison
+// is about: it must grow with the execution horizon (effectively unbounded),
+// whereas AlgAU needs only 12D+6 states forever.
+func (b *MinUnison) NumStates() int { return b.m }
+
+// IsOutput: every state is an output state (the clock itself).
+func (b *MinUnison) IsOutput(sa.State) bool { return true }
+
+// Output returns the clock value.
+func (b *MinUnison) Output(q sa.State) int { return q }
+
+// StateName implements sa.Namer.
+func (b *MinUnison) StateName(q sa.State) string { return fmt.Sprintf("c%d", q) }
+
+// Transition implements the min rule: clock ← min sensed clock + 1,
+// saturating at M−1 (the saturation is where bounded-range wraparound bugs
+// would live; see package comment).
+func (b *MinUnison) Transition(q sa.State, sig sa.Signal, _ *rand.Rand) sa.State {
+	min := q
+	for s := 0; s < b.m; s++ {
+		if sig.Has(s) {
+			min = s
+			break
+		}
+	}
+	if min+1 < b.m {
+		return min + 1
+	}
+	return b.m - 1
+}
+
+// SafetyHolds checks the unison safety condition for the baseline:
+// neighboring clocks differ by at most one.
+func (b *MinUnison) SafetyHolds(g *graph.Graph, cfg sa.Config) bool {
+	for _, e := range g.Edges() {
+		d := cfg[e[0]] - cfg[e[1]]
+		if d > 1 || d < -1 {
+			return false
+		}
+	}
+	return true
+}
+
+// StatesForHorizon returns the number of states the min-rule baseline needs
+// to run correctly for a given number of rounds from adversarial
+// configurations: initial clocks can be as large as the range allows, and
+// the clock advances every round, so the range must cover maxInitial +
+// horizon. This is the Sec. 5 state-space comparison in executable form.
+func StatesForHorizon(maxInitial, horizon int) int {
+	return maxInitial + horizon + 1
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"thinunison/internal/sa"
+)
+
+// TransitionType classifies the state transitions of AlgAU (Table 1).
+type TransitionType int
+
+// The transition types of Table 1, plus None for a node that keeps its turn.
+const (
+	None TransitionType = iota
+	AA                  // able → able: clock advance by φ
+	AF                  // able → faulty: enter the faulty detour
+	FA                  // faulty → able: complete the detour one unit inwards
+)
+
+// String implements fmt.Stringer.
+func (t TransitionType) String() string {
+	switch t {
+	case None:
+		return "none"
+	case AA:
+		return "AA"
+	case AF:
+		return "AF"
+	case FA:
+		return "FA"
+	default:
+		return fmt.Sprintf("TransitionType(%d)", int(t))
+	}
+}
+
+// Turn is a state of AlgAU: a level together with an able/faulty flag.
+// Faulty turns exist only for 2 ≤ |Level| ≤ k.
+type Turn struct {
+	Level  Level
+	Faulty bool
+}
+
+// String renders the turn like the paper: "3" for able, "3^" for faulty.
+func (t Turn) String() string {
+	if t.Faulty {
+		return fmt.Sprintf("%d^", t.Level)
+	}
+	return fmt.Sprintf("%d", t.Level)
+}
+
+// AU is AlgAU for a given diameter bound D. It implements sa.Algorithm with
+// the dense state encoding
+//
+//	able turn ℓ    ↦ Index(ℓ)                 (0 … 2k−1)
+//	faulty turn ℓ̂ ↦ 2k + faultyIndex(ℓ)      (2k … 4k−3)
+//
+// so NumStates() = 4k − 2 with k = 3D + 2: linear in D, independent of n.
+type AU struct {
+	d       int
+	ls      Levels
+	variant Variant   // zero value = the paper's algorithm; see variant.go
+	pool    sync.Pool // *view scratch buffers, so Transition is allocation-free
+}
+
+var (
+	_ sa.Algorithm = (*AU)(nil)
+	_ sa.Namer     = (*AU)(nil)
+)
+
+// NewAU returns AlgAU for diameter bound D >= 1, i.e. k = 3D + 2.
+func NewAU(d int) (*AU, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("core: diameter bound must be >= 1, got %d", d)
+	}
+	ls, err := NewLevels(3*d + 2)
+	if err != nil {
+		return nil, err
+	}
+	a := &AU{d: d, ls: ls}
+	a.pool.New = func() any { return new(view) }
+	return a, nil
+}
+
+// D returns the diameter bound the instance was built for.
+func (a *AU) D() int { return a.d }
+
+// K returns k = 3D + 2.
+func (a *AU) K() int { return a.ls.k }
+
+// Levels returns the level algebra of this instance.
+func (a *AU) Levels() Levels { return a.ls }
+
+// NumStates returns |Q| = 4k − 2 = 12D + 6.
+func (a *AU) NumStates() int { return 4*a.ls.k - 2 }
+
+// faultyIndex maps a faulty level (2 ≤ |ℓ| ≤ k) to 0..2k−3:
+// −k ↦ 0, …, −2 ↦ k−2, 2 ↦ k−1, …, k ↦ 2k−3.
+func (a *AU) faultyIndex(l Level) int {
+	if l < 0 {
+		return int(l) + a.ls.k
+	}
+	return int(l) + a.ls.k - 3
+}
+
+func (a *AU) faultyFromIndex(i int) Level {
+	if i < a.ls.k-1 {
+		return Level(i - a.ls.k)
+	}
+	return Level(i - a.ls.k + 3)
+}
+
+// State encodes a turn as a dense sa.State.
+func (a *AU) State(t Turn) (sa.State, error) {
+	if err := a.ls.Check(t.Level); err != nil {
+		return 0, err
+	}
+	if !t.Faulty {
+		return a.ls.Index(t.Level), nil
+	}
+	if abs(t.Level) < 2 {
+		return 0, fmt.Errorf("core: no faulty turn for level %d", t.Level)
+	}
+	return 2*a.ls.k + a.faultyIndex(t.Level), nil
+}
+
+// MustState is State for known-valid turns; it panics on invalid input and
+// is intended for tests and static tables.
+func (a *AU) MustState(t Turn) sa.State {
+	q, err := a.State(t)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Turn decodes a dense state back into a turn.
+func (a *AU) Turn(q sa.State) Turn {
+	if q < 2*a.ls.k {
+		return Turn{Level: a.ls.FromIndex(q)}
+	}
+	return Turn{Level: a.faultyFromIndex(q - 2*a.ls.k), Faulty: true}
+}
+
+// IsOutput reports whether q is an able turn (the output states of AlgAU).
+func (a *AU) IsOutput(q sa.State) bool { return q < 2*a.ls.k }
+
+// Output returns the clock value ω(q) ∈ {0, …, 2k−1} of an able turn: the
+// position of its level on the φ-cycle.
+func (a *AU) Output(q sa.State) int { return q }
+
+// ClockOrder returns |K| = 2k, the order of the output clock group.
+func (a *AU) ClockOrder() int { return a.ls.Order() }
+
+// StateName implements sa.Namer.
+func (a *AU) StateName(q sa.State) string { return a.Turn(q).String() }
+
+// view is the decoded sensing information AlgAU's conditions are phrased in.
+type view struct {
+	// levelSensed[Index(ℓ)] reports whether any turn of level ℓ is sensed.
+	levelSensed []bool
+	// faultySensed[Index(ℓ)] reports whether the faulty turn ℓ̂ is sensed.
+	faultySensed []bool
+	anyFaulty    bool
+}
+
+func (a *AU) decode(sig sa.Signal, v *view) {
+	n := a.ls.Order()
+	if cap(v.levelSensed) < n {
+		v.levelSensed = make([]bool, n)
+		v.faultySensed = make([]bool, n)
+	}
+	v.levelSensed = v.levelSensed[:n]
+	v.faultySensed = v.faultySensed[:n]
+	for i := range v.levelSensed {
+		v.levelSensed[i] = false
+		v.faultySensed[i] = false
+	}
+	v.anyFaulty = false
+	for q := 0; q < a.NumStates(); q++ {
+		if !sig.Has(q) {
+			continue
+		}
+		t := a.Turn(q)
+		idx := a.ls.Index(t.Level)
+		v.levelSensed[idx] = true
+		if t.Faulty {
+			v.faultySensed[idx] = true
+			v.anyFaulty = true
+		}
+	}
+}
+
+// Classify returns the transition type that a node in state q senses-and-fires
+// under sig, together with the successor state. It is the pure decision
+// procedure behind Transition and is exported so that tests can check Table 1
+// conformance exhaustively.
+func (a *AU) Classify(q sa.State, sig sa.Signal) (TransitionType, sa.State) {
+	v, ok := a.pool.Get().(*view)
+	if !ok {
+		v = new(view)
+	}
+	a.decode(sig, v)
+	typ, next := a.classify(q, v)
+	a.pool.Put(v)
+	return typ, next
+}
+
+func (a *AU) classify(q sa.State, v *view) (TransitionType, sa.State) {
+	t := a.Turn(q)
+	l := t.Level
+
+	if t.Faulty {
+		// FA: complete the detour one unit inwards iff no sensed level is
+		// strictly outwards of ℓ (Λ ∩ Ψ>(ℓ) = ∅). The EagerFA ablation
+		// weakens this to Λ ∩ Ψ≫(ℓ) = ∅, skipping the ψ+1 check.
+		start := int(abs(l)) + 1
+		if a.variant.EagerFA {
+			start++
+		}
+		for j := start; j <= a.ls.k; j++ {
+			out, _ := a.Psi(l, j-int(abs(l)))
+			if v.levelSensed[a.ls.Index(out)] {
+				return None, q
+			}
+		}
+		in, _ := a.Psi(l, -1)
+		return FA, a.ls.Index(in)
+	}
+
+	// Able turn. Check protection: every sensed level must be adjacent to ℓ.
+	protected := true
+	for i, sensed := range v.levelSensed {
+		if sensed && !a.ls.Adjacent(l, a.ls.FromIndex(i)) {
+			protected = false
+			break
+		}
+	}
+
+	// AF (only defined for 2 ≤ |ℓ| ≤ k): the node is not protected, or it
+	// senses the faulty turn one unit inwards of its own level. The
+	// DisableFaultPropagation ablation drops the second condition.
+	if abs(l) >= 2 {
+		sensesInwardsFaulty := false
+		if in, ok := a.Psi(l, -1); ok && abs(in) >= 2 && !a.variant.DisableFaultPropagation {
+			sensesInwardsFaulty = v.faultySensed[a.ls.Index(in)]
+		}
+		if !protected || sensesInwardsFaulty {
+			fq, err := a.State(Turn{Level: l, Faulty: true})
+			if err != nil { // unreachable: |ℓ| ≥ 2 checked above
+				return None, q
+			}
+			return AF, fq
+		}
+	}
+
+	// AA: the node is good (protected and senses no faulty turn) and every
+	// sensed level is ℓ or φ(ℓ).
+	if protected && !v.anyFaulty {
+		next := a.ls.Phi(l)
+		ok := true
+		for i, sensed := range v.levelSensed {
+			if !sensed {
+				continue
+			}
+			m := a.ls.FromIndex(i)
+			if m != l && m != next {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return AA, a.ls.Index(next)
+		}
+	}
+	return None, q
+}
+
+// Psi exposes the outwards operator of the instance's level algebra.
+func (a *AU) Psi(l Level, j int) (Level, bool) { return a.ls.Psi(l, j) }
+
+// Transition implements sa.Algorithm. AlgAU is deterministic; rng is unused.
+func (a *AU) Transition(q sa.State, sig sa.Signal, _ *rand.Rand) sa.State {
+	_, next := a.Classify(q, sig)
+	return next
+}

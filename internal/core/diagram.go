@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"thinunison/internal/sa"
+)
+
+// This file reproduces Figure 1 of the paper: the turn transition diagram of
+// AlgAU. DiagramEdges derives the edge set structurally from the definition
+// (the solid AA arrows, dashed AF arrows and dotted FA arrows of the figure)
+// and DerivedEdges recovers the same set behaviorally by enumerating the
+// transition function over all signals, so the two can be cross-checked.
+
+// DiagramEdge is one arrow of the Figure 1 state diagram.
+type DiagramEdge struct {
+	From Turn
+	To   Turn
+	Type TransitionType
+}
+
+// DiagramEdges returns the full arrow set of Figure 1 for this instance,
+// sorted deterministically:
+//
+//   - AA: ℓ → φ(ℓ) for every able turn ℓ (the 2k-cycle of solid arrows);
+//   - AF: ℓ → ℓ̂ for every level with 2 ≤ |ℓ| ≤ k (dashed arrows);
+//   - FA: ℓ̂ → ψ⁻¹(ℓ) for every faulty turn (dotted arrows).
+func (a *AU) DiagramEdges() []DiagramEdge {
+	var edges []DiagramEdge
+	for _, l := range a.ls.All() {
+		edges = append(edges, DiagramEdge{
+			From: Turn{Level: l},
+			To:   Turn{Level: a.ls.Phi(l)},
+			Type: AA,
+		})
+		if abs(l) >= 2 {
+			edges = append(edges, DiagramEdge{
+				From: Turn{Level: l},
+				To:   Turn{Level: l, Faulty: true},
+				Type: AF,
+			})
+			in, _ := a.ls.Psi(l, -1)
+			edges = append(edges, DiagramEdge{
+				From: Turn{Level: l, Faulty: true},
+				To:   Turn{Level: in},
+				Type: FA,
+			})
+		}
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// DerivedEdges enumerates every (state, signal) pair of the instance and
+// collects the distinct non-trivial transitions the implementation actually
+// performs. For tractability it enumerates signals over the "sensed level
+// set × sensed faulty set" abstraction restricted to windows around the
+// source state, which is exhaustive for the decision procedure (the
+// conditions of Table 1 only inspect those features). Used by tests to check
+// that the implementation's reachable arrows equal DiagramEdges exactly.
+func (a *AU) DerivedEdges() []DiagramEdge {
+	type key struct {
+		from, to sa.State
+	}
+	seen := make(map[key]TransitionType)
+
+	states := a.NumStates()
+	// For each source state, enumerate all subsets of a relevant signal
+	// basis: the source's own turn plus every turn whose level is within
+	// distance 2 of the source level (the transition conditions never look
+	// further except for "some outwards level sensed" / "not protected",
+	// which we cover with two extra representative far turns).
+	for q := 0; q < states; q++ {
+		t := a.Turn(q)
+		basis := a.signalBasis(t)
+		for mask := 0; mask < 1<<uint(len(basis)); mask++ {
+			sig := sa.NewSignal(states)
+			sig.Set(q) // a node always senses itself
+			for i, b := range basis {
+				if mask&(1<<uint(i)) != 0 {
+					sig.Set(b)
+				}
+			}
+			typ, next := a.Classify(q, sig)
+			if typ == None {
+				continue
+			}
+			k := key{from: q, to: next}
+			seen[k] = typ
+		}
+	}
+
+	edges := make([]DiagramEdge, 0, len(seen))
+	for k, typ := range seen {
+		edges = append(edges, DiagramEdge{From: a.Turn(k.from), To: a.Turn(k.to), Type: typ})
+	}
+	sortEdges(edges)
+	return edges
+}
+
+// signalBasis returns a set of representative neighbor states sufficient to
+// exercise every branch of the transition conditions from turn t.
+func (a *AU) signalBasis(t Turn) []sa.State {
+	addTurn := func(out *[]sa.State, tt Turn) {
+		if q, err := a.State(tt); err == nil {
+			*out = append(*out, q)
+		}
+	}
+	var basis []sa.State
+	l := t.Level
+	// Levels within forward distance 2 on the cycle, able and faulty.
+	for j := -2; j <= 2; j++ {
+		m := a.ls.PhiJ(l, j)
+		addTurn(&basis, Turn{Level: m})
+		addTurn(&basis, Turn{Level: m, Faulty: true})
+	}
+	// One and two units outwards/inwards (ψ), able and faulty.
+	for _, j := range []int{-2, -1, 1, 2} {
+		if m, ok := a.ls.Psi(l, j); ok {
+			addTurn(&basis, Turn{Level: m})
+			addTurn(&basis, Turn{Level: m, Faulty: true})
+		}
+	}
+	// A far level of each sign (breaks protection; outwards witness).
+	addTurn(&basis, Turn{Level: Level(a.ls.k)})
+	addTurn(&basis, Turn{Level: Level(-a.ls.k)})
+	addTurn(&basis, Turn{Level: Level(a.ls.k), Faulty: true})
+	// Deduplicate while preserving order.
+	seen := make(map[sa.State]bool, len(basis))
+	out := basis[:0]
+	for _, q := range basis {
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+func sortEdges(edges []DiagramEdge) {
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.From.Level != b.From.Level {
+			return a.From.Level < b.From.Level
+		}
+		if a.From.Faulty != b.From.Faulty {
+			return !a.From.Faulty
+		}
+		if a.To.Level != b.To.Level {
+			return a.To.Level < b.To.Level
+		}
+		return !a.To.Faulty && b.To.Faulty
+	})
+}
+
+// DOT renders the Figure 1 diagram in Graphviz DOT format. AA arrows are
+// solid black, AF arrows dashed red, FA arrows dotted blue — matching the
+// figure's legend.
+func (a *AU) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph AlgAU {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=circle];\n")
+	for _, l := range a.ls.All() {
+		fmt.Fprintf(&b, "  %q [label=%q];\n", Turn{Level: l}.String(), Turn{Level: l}.String())
+		if abs(l) >= 2 {
+			ft := Turn{Level: l, Faulty: true}
+			fmt.Fprintf(&b, "  %q [label=%q, shape=doublecircle];\n", ft.String(), ft.String())
+		}
+	}
+	for _, e := range a.DiagramEdges() {
+		attr := ""
+		switch e.Type {
+		case AA:
+			attr = "color=black"
+		case AF:
+			attr = "color=red, style=dashed"
+		case FA:
+			attr = "color=blue, style=dotted"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [%s];\n", e.From.String(), e.To.String(), attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,152 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+	"thinunison/internal/sched"
+	"thinunison/internal/sim"
+)
+
+// This file model-checks Theorem 1.1 exhaustively on tiny instances: for
+// EVERY possible initial configuration (not a random sample), the execution
+// under representative fair schedulers stabilizes within the O(D³) budget.
+// With D = 1 there are 18 states, so P2 has 324 configurations and P3/C3
+// have 5,832 each — small enough to enumerate completely.
+
+func exhaustiveGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	out := map[string]*graph.Graph{}
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["P2"] = g
+	g, err = graph.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["P3"] = g
+	g, err = graph.Cycle(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["C3"] = g
+	return out
+}
+
+// enumerate calls f with every configuration of n nodes over numStates
+// states, reusing one backing slice.
+func enumerate(n, numStates int, f func(cfg sa.Config)) {
+	cfg := make(sa.Config, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			f(cfg)
+			return
+		}
+		for q := 0; q < numStates; q++ {
+			cfg[i] = q
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+func TestExhaustiveInitialConfigsStabilize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped with -short")
+	}
+	for name, g := range exhaustiveGraphs(t) {
+		// Theorem 1.1 requires diam(G) <= D; use D = diam for each graph
+		// (D=1 for P2/C3, D=2 for P3).
+		au := mustAU(t, g.Diameter())
+		k := au.K()
+		budget := 60 * k * k * k
+
+		for _, schedName := range []string{"sync", "rr"} {
+			t.Run(fmt.Sprintf("%s/%s", name, schedName), func(t *testing.T) {
+				checked := 0
+				enumerate(g.N(), au.NumStates(), func(cfg sa.Config) {
+					var s sched.Scheduler
+					if schedName == "sync" {
+						s = sched.NewSynchronous()
+					} else {
+						s = sched.NewRoundRobin()
+					}
+					eng, err := sim.New(g, au, sim.Options{
+						Initial:   cfg,
+						Scheduler: s,
+						Seed:      1,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if _, err := eng.RunUntil(func(e *sim.Engine) bool {
+						return au.GraphGood(g, e.Config())
+					}, budget); err != nil {
+						t.Fatalf("configuration %v does not stabilize under %s",
+							cfg.String(au), schedName)
+					}
+					checked++
+				})
+				want := 1
+				for i := 0; i < g.N(); i++ {
+					want *= au.NumStates()
+				}
+				if checked != want {
+					t.Fatalf("enumerated %d configurations, want %d", checked, want)
+				}
+				t.Logf("all %d initial configurations stabilized", checked)
+			})
+		}
+	}
+}
+
+// TestExhaustiveSafetyAfterGood: for every configuration of P2, once the
+// graph is good, running 3 full clock revolutions never violates safety and
+// every node keeps advancing (exhaustive Lemma 2.10/2.11 on a tiny
+// instance).
+func TestExhaustiveSafetyAfterGood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exhaustive enumeration skipped with -short")
+	}
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au := mustAU(t, 1)
+	enumerate(g.N(), au.NumStates(), func(cfg sa.Config) {
+		if !au.GraphGood(g, cfg) {
+			return
+		}
+		eng, err := sim.New(g, au, sim.Options{Initial: cfg, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticks := make([]int, g.N())
+		prev := eng.Config().Clone()
+		for r := 0; r < 3*au.ClockOrder(); r++ {
+			if err := eng.RunRounds(1); err != nil {
+				t.Fatal(err)
+			}
+			cur := eng.Config()
+			if !au.SafetyHolds(g, cur) {
+				t.Fatalf("safety violated from good config %v", cfg.String(au))
+			}
+			for v := range cur {
+				if cur[v] != prev[v] {
+					ticks[v]++
+				}
+			}
+			copy(prev, cur)
+		}
+		for v, ti := range ticks {
+			if ti == 0 {
+				t.Fatalf("node %d never ticked from good config %v", v, cfg.String(au))
+			}
+		}
+	})
+}

@@ -1,0 +1,88 @@
+package core_test
+
+import (
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/sa"
+)
+
+// FuzzClassifyAgainstReference cross-checks the production transition
+// function against the independent Table 1 transcription on fuzzer-chosen
+// (D, state, signal) inputs. Run with
+//
+//	go test -fuzz=FuzzClassifyAgainstReference ./internal/core
+//
+// to explore beyond the seed corpus; in normal test runs the corpus below
+// is executed deterministically.
+func FuzzClassifyAgainstReference(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint64(0))
+	f.Add(uint8(2), uint8(7), uint64(0xdeadbeef))
+	f.Add(uint8(3), uint8(41), uint64(0xffffffffffffffff))
+	f.Add(uint8(4), uint8(12), uint64(1)<<53)
+
+	f.Fuzz(func(t *testing.T, dRaw, qRaw uint8, bits uint64) {
+		d := 1 + int(dRaw)%4
+		au, err := core.NewAU(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := int(qRaw) % au.NumStates()
+		sig := sa.NewSignal(au.NumStates())
+		sig.Set(q) // nodes always sense themselves
+		for s := 0; s < au.NumStates() && s < 64; s++ {
+			if bits&(1<<uint(s)) != 0 {
+				sig.Set(s)
+			}
+		}
+		gotType, gotNext := au.Classify(q, sig)
+		wantType, wantNext := au.ReferenceClassify(q, sig)
+		if gotType != wantType || gotNext != wantNext {
+			t.Fatalf("D=%d state=%v signal=%v: production (%v,%v) != reference (%v,%v)",
+				d, au.Turn(q), sig.States(), gotType, au.Turn(gotNext), wantType, au.Turn(wantNext))
+		}
+		if gotNext < 0 || gotNext >= au.NumStates() {
+			t.Fatalf("successor %d out of range", gotNext)
+		}
+	})
+}
+
+// FuzzLevelAlgebra checks φ/ψ/Dist identities on fuzzer-chosen inputs.
+func FuzzLevelAlgebra(f *testing.F) {
+	f.Add(uint8(2), int16(1), int8(1))
+	f.Add(uint8(14), int16(-14), int8(-3))
+	f.Add(uint8(5), int16(3), int8(0))
+
+	f.Fuzz(func(t *testing.T, kRaw uint8, lRaw int16, j int8) {
+		k := 2 + int(kRaw)%30
+		ls, err := core.NewLevels(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := ls.FromIndex(int(lRaw))
+		if !ls.Valid(l) {
+			t.Fatalf("FromIndex produced invalid level %d for k=%d", l, k)
+		}
+		// φ round trips.
+		if ls.PhiJ(ls.Phi(l), -1) != l {
+			t.Fatalf("PhiJ(Phi(%d), -1) != %d (k=%d)", l, l, k)
+		}
+		// Dist to φ-successor is always 1; Dist is bounded by k.
+		if ls.Dist(l, ls.Phi(l)) != 1 {
+			t.Fatalf("Dist(%d, φ) != 1 (k=%d)", l, k)
+		}
+		if d := ls.Dist(l, ls.PhiJ(l, int(j))); d > k {
+			t.Fatalf("Dist %d exceeds k=%d", d, k)
+		}
+		// ψ preserves sign and is inverted by the opposite step.
+		if m, ok := ls.Psi(l, int(j)); ok {
+			if (m > 0) != (l > 0) {
+				t.Fatalf("Psi(%d, %d) = %d flipped sign", l, j, m)
+			}
+			back, ok2 := ls.Psi(m, -int(j))
+			if !ok2 || back != l {
+				t.Fatalf("Psi(Psi(%d,%d),%d) = %d, want %d", l, j, -j, back, l)
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/sa"
+)
+
+func TestGraphLevelPredicates(t *testing.T) {
+	g := pathGraph(t, 3)
+	au := mustAU(t, 2)
+	good := cfgOf(t, au, core.Turn{Level: 1}, core.Turn{Level: 2}, core.Turn{Level: 2})
+	if !au.GraphProtected(g, good) {
+		t.Error("adjacent chain should be graph-protected")
+	}
+	if !au.GraphOutProtected(g, good) {
+		t.Error("adjacent chain should be graph-out-protected")
+	}
+	bad := cfgOf(t, au, core.Turn{Level: 1}, core.Turn{Level: 4}, core.Turn{Level: 4})
+	if au.GraphProtected(g, bad) {
+		t.Error("gap of 3 should not be protected")
+	}
+	if au.GraphOutProtected(g, bad) {
+		t.Error("level 4 outwards of 1 should break out-protection")
+	}
+	if got := au.ProtectedEdgeCount(g, bad); got != 1 {
+		t.Errorf("ProtectedEdgeCount = %d, want 1 (only the 4-4 edge)", got)
+	}
+	faulty := cfgOf(t, au,
+		core.Turn{Level: 2, Faulty: true}, core.Turn{Level: 2}, core.Turn{Level: 3, Faulty: true})
+	if got := au.FaultyNodeCount(faulty); got != 2 {
+		t.Errorf("FaultyNodeCount = %d, want 2", got)
+	}
+}
+
+func TestTurnAndTypeStrings(t *testing.T) {
+	if got := (core.Turn{Level: 3}).String(); got != "3" {
+		t.Errorf("able turn renders %q", got)
+	}
+	if got := (core.Turn{Level: -2, Faulty: true}).String(); got != "-2^" {
+		t.Errorf("faulty turn renders %q", got)
+	}
+	for typ, want := range map[core.TransitionType]string{
+		core.None: "none", core.AA: "AA", core.AF: "AF", core.FA: "FA",
+		core.TransitionType(9): "TransitionType(9)",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%d renders %q, want %q", int(typ), got, want)
+		}
+	}
+	au := mustAU(t, 1)
+	if got := au.StateName(0); got == "" {
+		t.Error("StateName empty")
+	}
+	if got := sa.StateName(au, au.NumStates()-1); !strings.Contains(got, "^") {
+		t.Errorf("last state should be a faulty turn, got %q", got)
+	}
+}
+
+func TestInvalidLevelError(t *testing.T) {
+	ls := mustLevels(t, 3)
+	err := ls.Check(7)
+	if err == nil {
+		t.Fatal("Check(7) should fail")
+	}
+	var ile *core.InvalidLevelError
+	if !asInvalidLevel(err, &ile) {
+		t.Fatalf("error type = %T", err)
+	}
+	if !strings.Contains(err.Error(), "7") {
+		t.Errorf("message %q should mention the level", err.Error())
+	}
+}
+
+func asInvalidLevel(err error, target **core.InvalidLevelError) bool {
+	e, ok := err.(*core.InvalidLevelError)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestMonitorGoodSinceAndUpdates(t *testing.T) {
+	g := pathGraph(t, 2)
+	au := mustAU(t, 1)
+	mon := core.NewMonitor(au, g)
+	if mon.GoodSince() != -1 {
+		t.Error("GoodSince should start at -1")
+	}
+	good := cfgOf(t, au, core.Turn{Level: 1}, core.Turn{Level: 1})
+	if err := mon.Check(good); err != nil {
+		t.Fatal(err)
+	}
+	if mon.GoodSince() != 0 {
+		t.Errorf("GoodSince = %d, want 0", mon.GoodSince())
+	}
+	next := cfgOf(t, au, core.Turn{Level: 2}, core.Turn{Level: 2})
+	if err := mon.Check(next); err != nil {
+		t.Fatal(err)
+	}
+	ups := mon.ClockUpdates()
+	if ups[0] != 1 || ups[1] != 1 {
+		t.Errorf("ClockUpdates = %v, want [1 1]", ups)
+	}
+	// A non-φ jump after good must trip the monitor.
+	jump := cfgOf(t, au, core.Turn{Level: 4}, core.Turn{Level: 4})
+	if err := mon.Check(jump); err == nil {
+		t.Error("non-+1 clock jump after good should be rejected")
+	}
+}
+
+func TestMonitorRejectsFaultAfterGood(t *testing.T) {
+	g := pathGraph(t, 2)
+	au := mustAU(t, 1)
+	mon := core.NewMonitor(au, g)
+	good := cfgOf(t, au, core.Turn{Level: 2}, core.Turn{Level: 2})
+	if err := mon.Check(good); err != nil {
+		t.Fatal(err)
+	}
+	faulty := cfgOf(t, au, core.Turn{Level: 2, Faulty: true}, core.Turn{Level: 2})
+	if err := mon.Check(faulty); err == nil {
+		t.Error("faulty turn after good should be rejected")
+	}
+}

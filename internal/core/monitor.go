@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+)
+
+// Monitor checks, online, the run-time guarantees of AlgAU: the monotone
+// invariants of Sec. 2.3.1 (out-protected nodes stay out-protected; a good
+// graph stays good) and — once the graph has become good — the AU task's
+// safety and liveness conditions. Attach it to a sim.Engine as a hook via
+// its Check method.
+type Monitor struct {
+	au *AU
+	g  *graph.Graph
+
+	prev         sa.Config
+	prevOutProt  []bool
+	goodSince    int // step at which the graph first became good; -1 before
+	clockUpdates []int
+	step         int
+}
+
+// NewMonitor returns a fresh monitor for au on g.
+func NewMonitor(au *AU, g *graph.Graph) *Monitor {
+	return &Monitor{
+		au:           au,
+		g:            g,
+		goodSince:    -1,
+		clockUpdates: make([]int, g.N()),
+	}
+}
+
+// GoodSince returns the step index at which the graph first became good, or
+// -1 if it has not yet.
+func (m *Monitor) GoodSince() int { return m.goodSince }
+
+// ClockUpdates returns, for each node, the number of clock advances (AA
+// transitions) observed since the graph became good.
+func (m *Monitor) ClockUpdates() []int {
+	out := make([]int, len(m.clockUpdates))
+	copy(out, m.clockUpdates)
+	return out
+}
+
+// Check inspects the configuration after one engine step. It must be called
+// once per step with the post-step configuration.
+func (m *Monitor) Check(cfg sa.Config) error {
+	defer func() { m.step++ }()
+
+	outProt := make([]bool, m.g.N())
+	for v := range outProt {
+		outProt[v] = m.au.NodeOutProtected(m.g, cfg, v)
+	}
+
+	if m.prev != nil {
+		// Obs. 2.3: out-protected nodes remain out-protected.
+		for v := range m.prevOutProt {
+			if m.prevOutProt[v] && !outProt[v] {
+				return fmt.Errorf("core: Obs 2.3 violated at step %d: node %d lost out-protection", m.step, v)
+			}
+		}
+		// Obs. 2.4: a node that changed its level must now be out-protected.
+		for v := range cfg {
+			if m.au.LevelOf(cfg, v) != m.au.LevelOf(m.prev, v) && !outProt[v] {
+				return fmt.Errorf("core: Obs 2.4 violated at step %d: node %d changed level while not out-protected", m.step, v)
+			}
+		}
+
+		if m.goodSince >= 0 {
+			// Lem. 2.10: good graphs stay good; safety must hold.
+			if !m.au.GraphGood(m.g, cfg) {
+				return fmt.Errorf("core: Lem 2.10 violated at step %d: graph stopped being good", m.step)
+			}
+			if !m.au.SafetyHolds(m.g, cfg) {
+				return fmt.Errorf("core: AU safety violated at step %d", m.step)
+			}
+			// Post-stabilization clock updates are exactly +1 (AA) steps.
+			for v := range cfg {
+				was, now := m.au.Turn(m.prev[v]), m.au.Turn(cfg[v])
+				if was == now {
+					continue
+				}
+				if was.Faulty || now.Faulty {
+					return fmt.Errorf("core: faulty turn after good at step %d, node %d", m.step, v)
+				}
+				if m.au.Levels().Phi(was.Level) != now.Level {
+					return fmt.Errorf("core: node %d moved %v -> %v, not a +1 clock update", v, was, now)
+				}
+				m.clockUpdates[v]++
+			}
+		}
+	}
+
+	if m.goodSince < 0 && m.au.GraphGood(m.g, cfg) {
+		m.goodSince = m.step
+	}
+	m.prev = cfg.Clone()
+	m.prevOutProt = outProt
+	return nil
+}

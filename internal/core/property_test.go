@@ -1,0 +1,157 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thinunison/internal/core"
+	"thinunison/internal/sa"
+)
+
+// randomSignal builds a signal containing q plus a random subset of other
+// states.
+func randomSignal(au *core.AU, q sa.State, rng *rand.Rand) sa.Signal {
+	sig := sa.NewSignal(au.NumStates())
+	sig.Set(q)
+	for i := 0; i < rng.Intn(5); i++ {
+		sig.Set(rng.Intn(au.NumStates()))
+	}
+	return sig
+}
+
+// TestClassifyShapeProperties checks structural facts about every
+// transition the implementation can produce, over random (state, signal)
+// pairs and random D:
+//
+//   - AA moves to φ(level), stays able, and fires only when the signal is
+//     within {ℓ, φ(ℓ)} with no faulty turn sensed;
+//   - AF keeps the level and sets the faulty flag, only for |ℓ| >= 2;
+//   - FA moves exactly one unit inwards and clears the faulty flag, and
+//     fires only when nothing outwards is sensed;
+//   - None keeps the state.
+func TestClassifyShapeProperties(t *testing.T) {
+	f := func(dRaw, qRaw uint8, seed int64) bool {
+		d := 1 + int(dRaw)%4
+		au, err := core.NewAU(d)
+		if err != nil {
+			return false
+		}
+		q := int(qRaw) % au.NumStates()
+		rng := rand.New(rand.NewSource(seed))
+		sig := randomSignal(au, q, rng)
+		typ, next := au.Classify(q, sig)
+		from := au.Turn(q)
+		to := au.Turn(next)
+		ls := au.Levels()
+
+		switch typ {
+		case core.AA:
+			if from.Faulty || to.Faulty {
+				return false
+			}
+			if to.Level != ls.Phi(from.Level) {
+				return false
+			}
+			// The firing condition: every sensed turn is able at ℓ or φ(ℓ).
+			for s := 0; s < au.NumStates(); s++ {
+				if !sig.Has(s) {
+					continue
+				}
+				st := au.Turn(s)
+				if st.Faulty {
+					return false
+				}
+				if st.Level != from.Level && st.Level != ls.Phi(from.Level) {
+					return false
+				}
+			}
+		case core.AF:
+			if from.Faulty || !to.Faulty {
+				return false
+			}
+			if to.Level != from.Level {
+				return false
+			}
+			if abs := from.Level; abs < 0 {
+				abs = -abs
+			}
+			if from.Level == 1 || from.Level == -1 {
+				return false // no faulty turn at level ±1
+			}
+		case core.FA:
+			if !from.Faulty || to.Faulty {
+				return false
+			}
+			in, ok := ls.Psi(from.Level, -1)
+			if !ok || to.Level != in {
+				return false
+			}
+			// Nothing outwards of from.Level may be sensed.
+			for s := 0; s < au.NumStates(); s++ {
+				if sig.Has(s) && ls.Outwards(from.Level, au.Turn(s).Level) {
+					return false
+				}
+			}
+		case core.None:
+			if next != q {
+				return false
+			}
+		default:
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTransitionTotal: Transition never returns an out-of-range state, for
+// any (state, signal) pair.
+func TestTransitionTotal(t *testing.T) {
+	f := func(dRaw, qRaw uint8, seed int64) bool {
+		d := 1 + int(dRaw)%5
+		au, err := core.NewAU(d)
+		if err != nil {
+			return false
+		}
+		q := int(qRaw) % au.NumStates()
+		rng := rand.New(rand.NewSource(seed))
+		sig := randomSignal(au, q, rng)
+		next := au.Transition(q, sig, rng)
+		return next >= 0 && next < au.NumStates()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAFBeatsAAWhenBothImpossible: AF and AA conditions are mutually
+// exclusive (AF requires not-good, AA requires good) — for every random
+// pair, at most one fires, which the classifier encodes by construction;
+// here we verify the conditions really are disjoint by recomputing them
+// from predicates on a two-node graph.
+func TestAFAAExclusive(t *testing.T) {
+	au := mustAU(t, 2)
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 2000; trial++ {
+		q := rng.Intn(au.NumStates())
+		if au.Turn(q).Faulty {
+			continue
+		}
+		sig := randomSignal(au, q, rng)
+		typ, _ := au.Classify(q, sig)
+		if typ != core.AA {
+			continue
+		}
+		// If AA fired, the AF condition must be false: protected and no
+		// inwards faulty sensed. Protected follows from Λ ⊆ {ℓ, φ(ℓ)};
+		// no faulty sensed at all follows from goodness. Re-check:
+		for s := 0; s < au.NumStates(); s++ {
+			if sig.Has(s) && au.Turn(s).Faulty {
+				t.Fatalf("AA fired while sensing faulty turn %v", au.Turn(s))
+			}
+		}
+	}
+}

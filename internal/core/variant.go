@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+)
+
+// Variant configures ablated builds of AlgAU, used by the ablation
+// experiment (E9) to demonstrate *why* the algorithm is designed the way it
+// is. The zero value is the paper's algorithm.
+type Variant struct {
+	// KOverride overrides k (the paper fixes k = 3D + 2, which the
+	// analysis needs: levels must reach 2D+2 past the ±1 ground for the
+	// grounding argument of Lemmas 2.20–2.21). Values below 3D+2 shrink
+	// the faulty detour's headroom; the ablation measures how much of the
+	// adversarial configuration space stops stabilizing. 0 keeps 3D+2.
+	KOverride int
+
+	// DisableFaultPropagation drops condition (2) of the AF transition
+	// ("v senses turn ψ−1(ℓ)-hat"). Without it, a faulty node's outward
+	// able neighbors are never pulled into the detour, Lemma 2.12's
+	// inductive chain breaks, and executions can deadlock with a faulty
+	// node waiting forever on an able outward neighbor.
+	DisableFaultPropagation bool
+
+	// EagerFA drops the caution of the FA transition, requiring only that
+	// no level strictly outwards by MORE than one unit is sensed
+	// (Λ ∩ Ψ≫(ℓ) = ∅ instead of Λ ∩ Ψ>(ℓ) = ∅). This re-introduces the
+	// "vicious cycles" the paper's cautious rule avoids (Sec. 2.1).
+	EagerFA bool
+}
+
+// IsPaper reports whether the variant is the unmodified paper algorithm.
+func (v Variant) IsPaper() bool {
+	return v == Variant{}
+}
+
+// Name returns a short label for reports.
+func (v Variant) Name() string {
+	if v.IsPaper() {
+		return "paper"
+	}
+	name := ""
+	if v.KOverride != 0 {
+		name += fmt.Sprintf("k=%d,", v.KOverride)
+	}
+	if v.DisableFaultPropagation {
+		name += "noAFprop,"
+	}
+	if v.EagerFA {
+		name += "eagerFA,"
+	}
+	return name[:len(name)-1]
+}
+
+// NewAUVariant builds an (possibly ablated) AlgAU instance. The unmodified
+// variant is identical to NewAU.
+func NewAUVariant(d int, v Variant) (*AU, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("core: diameter bound must be >= 1, got %d", d)
+	}
+	k := 3*d + 2
+	if v.KOverride != 0 {
+		k = v.KOverride
+	}
+	ls, err := NewLevels(k)
+	if err != nil {
+		return nil, err
+	}
+	a := &AU{d: d, ls: ls, variant: v}
+	a.pool.New = func() any { return new(view) }
+	return a, nil
+}
+
+// Variant returns the instance's (possibly zero) variant.
+func (a *AU) Variant() Variant { return a.variant }

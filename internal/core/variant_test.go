@@ -1,0 +1,163 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+	"thinunison/internal/sim"
+)
+
+func TestVariantConstruction(t *testing.T) {
+	if _, err := core.NewAUVariant(0, core.Variant{}); err == nil {
+		t.Error("d=0 should fail")
+	}
+	if _, err := core.NewAUVariant(2, core.Variant{KOverride: 1}); err == nil {
+		t.Error("k=1 should fail (levels need k >= 2)")
+	}
+	au, err := core.NewAUVariant(2, core.Variant{KOverride: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if au.K() != 5 || au.NumStates() != 18 {
+		t.Errorf("K=%d states=%d, want 5, 18", au.K(), au.NumStates())
+	}
+	if au.Variant().IsPaper() {
+		t.Error("overridden variant should not be the paper's")
+	}
+}
+
+func TestVariantNames(t *testing.T) {
+	cases := []struct {
+		v    core.Variant
+		want string
+	}{
+		{core.Variant{}, "paper"},
+		{core.Variant{KOverride: 7}, "k=7"},
+		{core.Variant{DisableFaultPropagation: true}, "noAFprop"},
+		{core.Variant{EagerFA: true}, "eagerFA"},
+		{core.Variant{KOverride: 4, EagerFA: true}, "k=4,eagerFA"},
+	}
+	for _, c := range cases {
+		if got := c.v.Name(); got != c.want {
+			t.Errorf("Name(%+v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+// TestPaperVariantIdenticalToNewAU: the zero variant produces the same
+// transition function as NewAU (checked over the exhaustive enumeration).
+func TestPaperVariantIdenticalToNewAU(t *testing.T) {
+	a := mustAU(t, 2)
+	b, err := core.NewAUVariant(2, core.Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumStates() != b.NumStates() {
+		t.Fatal("state-space mismatch")
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		// Spot-check over a handful of signals per state.
+		rng := rand.New(rand.NewSource(int64(q)))
+		for trial := 0; trial < 20; trial++ {
+			sig := sa.NewSignal(a.NumStates())
+			sig.Set(q)
+			for i := 0; i < rng.Intn(4); i++ {
+				sig.Set(rng.Intn(a.NumStates()))
+			}
+			ta, na := a.Classify(q, sig)
+			tb, nb := b.Classify(q, sig)
+			if ta != tb || na != nb {
+				t.Fatalf("state %d: paper variant diverges from NewAU", q)
+			}
+		}
+	}
+}
+
+// TestDisabledPropagationChangesBehavior pins the ablation's semantics: a
+// node at ℓ=3 sensing the faulty turn 2̂ performs AF in the paper algorithm
+// but stays put with fault propagation disabled.
+func TestDisabledPropagationChangesBehavior(t *testing.T) {
+	paper := mustAU(t, 2)
+	ablated, err := core.NewAUVariant(2, core.Variant{DisableFaultPropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paper.MustState(core.Turn{Level: 3})
+	sig := sa.NewSignal(paper.NumStates())
+	sig.Set(q)
+	sig.Set(paper.MustState(core.Turn{Level: 2, Faulty: true}))
+
+	if typ, _ := paper.Classify(q, sig); typ != core.AF {
+		t.Fatalf("paper: got %v, want AF", typ)
+	}
+	if typ, _ := ablated.Classify(q, sig); typ != core.None {
+		t.Fatalf("ablated: got %v, want None", typ)
+	}
+}
+
+// TestEagerFAChangesBehavior: a faulty node at 2̂ sensing level 3 (= ψ+1)
+// stays put in the paper algorithm but fires FA eagerly in the ablation.
+func TestEagerFAChangesBehavior(t *testing.T) {
+	paper := mustAU(t, 2)
+	ablated, err := core.NewAUVariant(2, core.Variant{EagerFA: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := paper.MustState(core.Turn{Level: 2, Faulty: true})
+	sig := sa.NewSignal(paper.NumStates())
+	sig.Set(q)
+	sig.Set(paper.MustState(core.Turn{Level: 3}))
+
+	if typ, _ := paper.Classify(q, sig); typ != core.None {
+		t.Fatalf("paper: got %v, want None (cautious FA)", typ)
+	}
+	if typ, next := ablated.Classify(q, sig); typ != core.FA || ablated.Turn(next).Level != 1 {
+		t.Fatalf("ablated: got %v -> %v, want FA -> 1", typ, ablated.Turn(next))
+	}
+}
+
+// TestNoPropagationDeadlock exhibits a concrete execution where the
+// fault-propagation ablation gets stuck: a faulty node waiting on an
+// outward able neighbor that never moves (the Lemma 2.12 chain broken).
+func TestNoPropagationDeadlock(t *testing.T) {
+	ablated, err := core.NewAUVariant(1, core.Variant{DisableFaultPropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Path(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 0 faulty at 2̂, node 1 able at 3. Node 0 cannot FA (senses
+	// 3 ∈ Ψ>(2)); node 1 is protected (2 adjacent 3) and senses a faulty
+	// turn so it is not good (no AA) and without condition (2) never AFs.
+	cfg := sa.Config{
+		ablated.MustState(core.Turn{Level: 2, Faulty: true}),
+		ablated.MustState(core.Turn{Level: 3}),
+	}
+	eng, err := sim.New(g, ablated, sim.Options{Initial: cfg, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunRounds(100); err != nil {
+		t.Fatal(err)
+	}
+	if !eng.Config().Equal(cfg) {
+		t.Fatalf("expected a deadlock, but configuration moved: %v", eng.Config().String(ablated))
+	}
+	// The paper's algorithm resolves the same configuration.
+	paper := mustAU(t, 1)
+	eng, err = sim.New(g, paper, sim.Options{Initial: cfg.Clone(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := paper.K()
+	if _, err := eng.RunUntil(func(e *sim.Engine) bool {
+		return paper.GraphGood(g, e.Config())
+	}, 60*k*k*k); err != nil {
+		t.Fatalf("paper algorithm failed on the deadlock instance: %v", err)
+	}
+}

@@ -1,0 +1,276 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Path returns the path graph P_n (diameter n-1).
+func Path(n int) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < n; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Cycle returns the cycle graph C_n for n >= 3 (diameter floor(n/2)).
+func Cycle(n int) (*Graph, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("graph: cycle needs n >= 3, got %d", n)
+	}
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := b.AddEdge(i, (i+1)%n); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Star returns the star graph on n nodes with node 0 at the center
+// (diameter 2 for n >= 3).
+func Star(n int) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(0, i); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Complete returns the complete graph K_n (diameter 1 for n >= 2). Complete
+// graphs are the paper's motivating special case: bounded-diameter graphs are
+// "a natural extension of complete graphs".
+func Complete(n int) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := b.AddEdge(i, j); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Grid returns the rows x cols grid graph (diameter rows+cols-2).
+func Grid(rows, cols int) (*Graph, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	b, err := NewBuilder(rows * cols)
+	if err != nil {
+		return nil, err
+	}
+	id := func(r, c int) NodeID { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				if err := b.AddEdge(id(r, c), id(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := b.AddEdge(id(r, c), id(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// CompleteBinaryTree returns a complete binary tree on n nodes where node i
+// has children 2i+1 and 2i+2.
+func CompleteBinaryTree(n int) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(i, (i-1)/2); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// RandomTree returns a uniformly random labeled tree on n nodes, generated
+// from a random Prüfer-like attachment (each node i >= 1 attaches to a
+// uniformly random earlier node).
+func RandomTree(n int, rng *rand.Rand) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(i, rng.Intn(i)); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// RandomConnected returns a connected Erdős–Rényi-style graph: a random
+// spanning tree plus each remaining pair independently with probability p.
+func RandomConnected(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: probability %v out of [0,1]", p)
+	}
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(n)
+	for i := 1; i < n; i++ {
+		if err := b.AddEdge(perm[i], perm[rng.Intn(i)]); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := b.AddEdge(i, j); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// BoundedDiameter returns a connected graph on n nodes whose diameter is
+// exactly d (requires 1 <= d < n). The construction is a path of length d
+// (realizing the diameter) with the remaining n-d-1 nodes attached to path
+// node min(1, d-1)... specifically to the path's second node, plus random
+// chords that never increase the diameter. This is the "almost complete but
+// for some broken links" family the paper motivates.
+func BoundedDiameter(n, d int, rng *rand.Rand) (*Graph, error) {
+	switch {
+	case n <= 0:
+		return nil, ErrEmptyGraph
+	case d < 1 && n > 1:
+		return nil, fmt.Errorf("graph: diameter bound %d too small for n=%d", d, n)
+	case d >= n:
+		return nil, fmt.Errorf("graph: diameter %d impossible with n=%d nodes", d, n)
+	}
+	if n == 1 {
+		return New(1, nil)
+	}
+	if d == 1 {
+		return Complete(n) // diameter 1 forces the complete graph
+	}
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	// Spine path 0-1-...-d realizes the diameter.
+	for i := 0; i < d; i++ {
+		if err := b.AddEdge(i, i+1); err != nil {
+			return nil, err
+		}
+	}
+	// Remaining nodes cluster around the spine's midpoint so they cannot
+	// stretch the diameter: each attaches to the mid node and a random spine
+	// neighbor of it.
+	mid := d / 2
+	for v := d + 1; v < n; v++ {
+		if err := b.AddEdge(v, mid); err != nil {
+			return nil, err
+		}
+		// Random extra chord among cluster nodes (keeps distances <= d).
+		if v > d+1 && rng.Intn(2) == 0 {
+			if err := b.AddEdge(v, d+1+rng.Intn(v-d-1)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	g := b.Build()
+	if got := g.Diameter(); got != d {
+		return nil, fmt.Errorf("graph: bounded-diameter construction produced diameter %d, want %d", got, d)
+	}
+	return g, nil
+}
+
+// Hypercube returns the dim-dimensional hypercube (n = 2^dim, diameter dim).
+func Hypercube(dim int) (*Graph, error) {
+	if dim < 0 || dim > 20 {
+		return nil, fmt.Errorf("graph: hypercube dimension %d out of range [0,20]", dim)
+	}
+	n := 1 << uint(dim)
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			u := v ^ (1 << uint(bit))
+			if v < u {
+				if err := b.AddEdge(v, u); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build(), nil
+}
+
+// Family identifies a named graph family used by the experiment sweeps.
+type Family string
+
+// Families used throughout the experiments.
+const (
+	FamilyPath     Family = "path"
+	FamilyCycle    Family = "cycle"
+	FamilyStar     Family = "star"
+	FamilyComplete Family = "complete"
+	FamilyGrid     Family = "grid"
+	FamilyTree     Family = "tree"
+	FamilyRandom   Family = "random"
+	FamilyBoundedD Family = "boundedD"
+)
+
+// FromFamily builds an n-node member of the family. The rng is only used by
+// randomized families; d is only used by FamilyBoundedD.
+func FromFamily(f Family, n, d int, rng *rand.Rand) (*Graph, error) {
+	switch f {
+	case FamilyPath:
+		return Path(n)
+	case FamilyCycle:
+		return Cycle(n)
+	case FamilyStar:
+		return Star(n)
+	case FamilyComplete:
+		return Complete(n)
+	case FamilyGrid:
+		side := 1
+		for side*side < n {
+			side++
+		}
+		return Grid(side, side)
+	case FamilyTree:
+		return CompleteBinaryTree(n)
+	case FamilyRandom:
+		return RandomConnected(n, 0.15, rng)
+	case FamilyBoundedD:
+		return BoundedDiameter(n, d, rng)
+	default:
+		return nil, fmt.Errorf("graph: unknown family %q", f)
+	}
+}

@@ -1,0 +1,315 @@
+// Package graph provides the undirected-graph substrate on which all stone
+// age (SA) algorithms in this repository run.
+//
+// Graphs are finite, simple, connected and undirected, matching the model of
+// Emek & Keren (PODC 2021). Nodes are identified by dense integer IDs in
+// [0, N). The package offers constructors for the graph families used in the
+// experiments (paths, cycles, stars, complete graphs, grids, trees, random
+// connected graphs and bounded-diameter families) together with the metric
+// helpers (BFS, distance, eccentricity, diameter) that the analysis of the
+// paper is phrased in.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node of a Graph. IDs are dense integers in [0, N).
+type NodeID = int
+
+var (
+	// ErrEmptyGraph is returned when a graph with zero nodes is requested.
+	ErrEmptyGraph = errors.New("graph: graph must have at least one node")
+
+	// ErrDisconnected is returned by validation helpers when the graph is
+	// not connected. The SA model is defined over connected graphs only.
+	ErrDisconnected = errors.New("graph: graph is not connected")
+
+	// ErrSelfLoop is returned when an edge (v, v) is added.
+	ErrSelfLoop = errors.New("graph: self loops are not allowed")
+)
+
+// OutOfRangeError reports a node identifier outside [0, N).
+type OutOfRangeError struct {
+	ID NodeID
+	N  int
+}
+
+func (e *OutOfRangeError) Error() string {
+	return fmt.Sprintf("graph: node %d out of range [0, %d)", e.ID, e.N)
+}
+
+// Graph is a finite simple undirected graph with nodes 0..N-1.
+//
+// The zero value is not usable; construct graphs with New or one of the
+// family builders in this package. Graph values are immutable once built
+// (Builder freezes adjacency lists), so they may be shared freely across
+// goroutines.
+type Graph struct {
+	n   int
+	adj [][]NodeID // sorted adjacency lists
+	m   int        // number of edges
+}
+
+// Builder incrementally assembles a Graph. It deduplicates edges and rejects
+// self loops. The zero value is not usable; use NewBuilder.
+type Builder struct {
+	n     int
+	edges map[[2]NodeID]struct{}
+}
+
+// NewBuilder returns a Builder for a graph on n nodes.
+func NewBuilder(n int) (*Builder, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	return &Builder{n: n, edges: make(map[[2]NodeID]struct{})}, nil
+}
+
+// AddEdge records the undirected edge (u, v). Adding an existing edge is a
+// no-op. Self loops and out-of-range endpoints are errors.
+func (b *Builder) AddEdge(u, v NodeID) error {
+	if u == v {
+		return ErrSelfLoop
+	}
+	for _, x := range [2]NodeID{u, v} {
+		if x < 0 || x >= b.n {
+			return &OutOfRangeError{ID: x, N: b.n}
+		}
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges[[2]NodeID{u, v}] = struct{}{}
+	return nil
+}
+
+// Build freezes the builder into an immutable Graph. It does not require
+// connectivity; call Graph.Validate if the graph must be connected.
+func (b *Builder) Build() *Graph {
+	adj := make([][]NodeID, b.n)
+	for e := range b.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for _, l := range adj {
+		sort.Ints(l)
+	}
+	return &Graph{n: b.n, adj: adj, m: len(b.edges)}
+}
+
+// New constructs a graph on n nodes from an explicit edge list.
+func New(n int, edges [][2]NodeID) (*Graph, error) {
+	b, err := NewBuilder(n)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range edges {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// Neighbors returns the sorted adjacency list of v. The returned slice is
+// owned by the graph and must not be modified.
+func (g *Graph) Neighbors(v NodeID) []NodeID { return g.adj[v] }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// HasEdge reports whether the edge (u, v) is present.
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	l := g.adj[u]
+	i := sort.SearchInts(l, v)
+	return i < len(l) && l[i] == v
+}
+
+// Edges returns all edges as (u, v) pairs with u < v, sorted
+// lexicographically. The slice is freshly allocated.
+func (g *Graph) Edges() [][2]NodeID {
+	out := make([][2]NodeID, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]NodeID{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks that the graph is connected (the SA model requires it).
+func (g *Graph) Validate() error {
+	if g.n == 0 {
+		return ErrEmptyGraph
+	}
+	if !g.Connected() {
+		return ErrDisconnected
+	}
+	return nil
+}
+
+// Connected reports whether the graph is connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return false
+	}
+	seen := 0
+	for _, d := range g.BFS(0) {
+		if d >= 0 {
+			seen++
+		}
+	}
+	return seen == g.n
+}
+
+// BFS returns the BFS distance from src to every node; unreachable nodes get
+// distance -1. The returned map is a dense slice indexed by NodeID.
+func (g *Graph) BFS(src NodeID) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]NodeID, 0, g.n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// Distance returns the hop distance between u and v, or -1 if disconnected.
+func (g *Graph) Distance(u, v NodeID) int { return g.BFS(u)[v] }
+
+// Eccentricity returns the maximum BFS distance from v to any node, or -1 if
+// the graph is disconnected.
+func (g *Graph) Eccentricity(v NodeID) int {
+	ecc := 0
+	for _, d := range g.BFS(v) {
+		if d == -1 {
+			return -1
+		}
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
+// Diameter returns the diameter of the graph (maximum eccentricity), or -1
+// if the graph is disconnected. It runs a BFS from every node, which is fine
+// for the laptop-scale instances used in the experiments.
+func (g *Graph) Diameter() int {
+	diam := 0
+	for v := 0; v < g.n; v++ {
+		e := g.Eccentricity(v)
+		if e == -1 {
+			return -1
+		}
+		if e > diam {
+			diam = e
+		}
+	}
+	return diam
+}
+
+// ShortestPath returns one shortest path from u to v (inclusive of both
+// endpoints), or nil if v is unreachable from u.
+func (g *Graph) ShortestPath(u, v NodeID) []NodeID {
+	dist := g.BFS(u)
+	if dist[v] == -1 {
+		return nil
+	}
+	path := make([]NodeID, dist[v]+1)
+	path[dist[v]] = v
+	cur := v
+	for d := dist[v] - 1; d >= 0; d-- {
+		for _, w := range g.adj[cur] {
+			if dist[w] == d {
+				cur = w
+				break
+			}
+		}
+		path[d] = cur
+	}
+	return path
+}
+
+// Ball returns all nodes within hop distance at most r from v, sorted.
+func (g *Graph) Ball(v NodeID, r int) []NodeID {
+	dist := g.BFS(v)
+	var out []NodeID
+	for u, d := range dist {
+		if d >= 0 && d <= r {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// IsIndependentSet reports whether the given node set is independent.
+func (g *Graph) IsIndependentSet(set []NodeID) bool {
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for _, v := range set {
+		for _, u := range g.adj[v] {
+			if in[u] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsMaximalIndependentSet reports whether the given node set is an MIS:
+// independent, and every node outside the set has a neighbor inside it.
+func (g *Graph) IsMaximalIndependentSet(set []NodeID) bool {
+	if !g.IsIndependentSet(set) {
+		return false
+	}
+	in := make(map[NodeID]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	for v := 0; v < g.n; v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.adj[v] {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a short human-readable description.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d)", g.n, g.m)
+}

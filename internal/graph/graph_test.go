@@ -1,0 +1,286 @@
+package graph_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"thinunison/internal/graph"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	if _, err := graph.NewBuilder(0); !errors.Is(err, graph.ErrEmptyGraph) {
+		t.Errorf("NewBuilder(0) = %v, want ErrEmptyGraph", err)
+	}
+	b, err := graph.NewBuilder(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddEdge(1, 1); !errors.Is(err, graph.ErrSelfLoop) {
+		t.Errorf("self loop = %v, want ErrSelfLoop", err)
+	}
+	var oor *graph.OutOfRangeError
+	if err := b.AddEdge(0, 3); !errors.As(err, &oor) {
+		t.Errorf("out of range = %v, want OutOfRangeError", err)
+	}
+	if err := b.AddEdge(-1, 0); !errors.As(err, &oor) {
+		t.Errorf("negative node = %v, want OutOfRangeError", err)
+	}
+}
+
+func TestEdgeDeduplication(t *testing.T) {
+	g, err := graph.New(3, [][2]int{{0, 1}, {1, 0}, {0, 1}, {1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 2 {
+		t.Errorf("M() = %d, want 2 (edges deduplicated)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge must be symmetric")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge")
+	}
+	if g.Degree(1) != 2 || g.Degree(2) != 1 {
+		t.Errorf("degrees: %d %d", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestValidateConnectivity(t *testing.T) {
+	g, err := graph.New(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); !errors.Is(err, graph.ErrDisconnected) {
+		t.Errorf("Validate() = %v, want ErrDisconnected", err)
+	}
+	if g.Diameter() != -1 {
+		t.Errorf("disconnected diameter = %d, want -1", g.Diameter())
+	}
+	if g.Distance(0, 3) != -1 {
+		t.Error("cross-component distance should be -1")
+	}
+}
+
+func TestFamilyDiameters(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*graph.Graph, error)
+		wantN int
+		wantD int
+	}{
+		{"path5", func() (*graph.Graph, error) { return graph.Path(5) }, 5, 4},
+		{"cycle6", func() (*graph.Graph, error) { return graph.Cycle(6) }, 6, 3},
+		{"cycle7", func() (*graph.Graph, error) { return graph.Cycle(7) }, 7, 3},
+		{"star5", func() (*graph.Graph, error) { return graph.Star(5) }, 5, 2},
+		{"k4", func() (*graph.Graph, error) { return graph.Complete(4) }, 4, 1},
+		{"grid3x4", func() (*graph.Graph, error) { return graph.Grid(3, 4) }, 12, 5},
+		{"tree7", func() (*graph.Graph, error) { return graph.CompleteBinaryTree(7) }, 7, 4},
+		{"hyper3", func() (*graph.Graph, error) { return graph.Hypercube(3) }, 8, 3},
+		{"single", func() (*graph.Graph, error) { return graph.Path(1) }, 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g, err := c.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if g.N() != c.wantN {
+				t.Errorf("N = %d, want %d", g.N(), c.wantN)
+			}
+			if got := g.Diameter(); got != c.wantD {
+				t.Errorf("Diameter = %d, want %d", got, c.wantD)
+			}
+			if err := g.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+	if _, err := graph.Cycle(2); err == nil {
+		t.Error("Cycle(2) should fail")
+	}
+	if _, err := graph.Hypercube(25); err == nil {
+		t.Error("Hypercube(25) should fail")
+	}
+}
+
+func TestRandomFamiliesConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20; i++ {
+		g, err := graph.RandomConnected(2+rng.Intn(30), rng.Float64()*0.3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatal("RandomConnected produced a disconnected graph")
+		}
+		tr, err := graph.RandomTree(2+rng.Intn(30), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Connected() || tr.M() != tr.N()-1 {
+			t.Fatalf("RandomTree not a tree: n=%d m=%d", tr.N(), tr.M())
+		}
+	}
+}
+
+func TestBoundedDiameter(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ n, d int }{{8, 2}, {12, 3}, {20, 4}, {30, 5}, {10, 1}} {
+		g, err := graph.BoundedDiameter(c.n, c.d, rng)
+		if err != nil {
+			t.Fatalf("BoundedDiameter(%d,%d): %v", c.n, c.d, err)
+		}
+		if got := g.Diameter(); got != c.d {
+			t.Errorf("BoundedDiameter(%d,%d) has diameter %d", c.n, c.d, got)
+		}
+	}
+	if _, err := graph.BoundedDiameter(5, 5, rng); err == nil {
+		t.Error("d >= n should fail")
+	}
+	if _, err := graph.BoundedDiameter(5, 0, rng); err == nil {
+		t.Error("d = 0 with n > 1 should fail")
+	}
+}
+
+func TestShortestPathAndBall(t *testing.T) {
+	g, err := graph.Grid(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.ShortestPath(0, 8)
+	if len(p) != g.Distance(0, 8)+1 {
+		t.Fatalf("path length %d, want %d", len(p)-1, g.Distance(0, 8))
+	}
+	if p[0] != 0 || p[len(p)-1] != 8 {
+		t.Errorf("path endpoints %d..%d", p[0], p[len(p)-1])
+	}
+	for i := 0; i+1 < len(p); i++ {
+		if !g.HasEdge(p[i], p[i+1]) {
+			t.Errorf("path step %d-%d is not an edge", p[i], p[i+1])
+		}
+	}
+	ball := g.Ball(4, 1) // center of the grid
+	if len(ball) != 5 {
+		t.Errorf("Ball(center,1) = %v, want 5 nodes", ball)
+	}
+	if got := g.Ball(0, 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("Ball(0,0) = %v", got)
+	}
+}
+
+func TestIndependentSetPredicates(t *testing.T) {
+	g, err := graph.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		set   []int
+		indep bool
+	}{
+		{[]int{0, 2, 4}, true},
+		{[]int{0, 3}, true},
+		{[]int{1, 4}, true},
+		{[]int{0, 1}, false}, // adjacent
+		{[]int{}, true},
+	}
+	for i, c := range cases {
+		indep := g.IsIndependentSet(c.set)
+		if indep != c.indep {
+			t.Errorf("case %d: IsIndependentSet(%v) = %v, want %v", i, c.set, indep, c.indep)
+		}
+	}
+	if !g.IsMaximalIndependentSet([]int{0, 2, 4}) {
+		t.Error("{0,2,4} is an MIS of P5")
+	}
+	if g.IsMaximalIndependentSet([]int{0}) {
+		t.Error("{0} is not maximal in P5")
+	}
+	if g.IsMaximalIndependentSet([]int{0, 1}) {
+		t.Error("{0,1} is not independent")
+	}
+}
+
+// TestBFSProperties is a property test: BFS distances satisfy the triangle
+// inequality along edges and are realized by shortest paths.
+func TestBFSProperties(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + int(nRaw)%20
+		g, err := graph.RandomConnected(n, 0.2, rng)
+		if err != nil {
+			return false
+		}
+		dist := g.BFS(0)
+		for _, e := range g.Edges() {
+			d := dist[e[0]] - dist[e[1]]
+			if d > 1 || d < -1 {
+				return false
+			}
+		}
+		for v := 0; v < n; v++ {
+			p := g.ShortestPath(0, v)
+			if len(p)-1 != dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgesSortedAndOwned(t *testing.T) {
+	g, err := graph.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	if len(edges) != 5 {
+		t.Fatalf("got %d edges", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		a, b := edges[i-1], edges[i]
+		if a[0] > b[0] || (a[0] == b[0] && a[1] >= b[1]) {
+			t.Errorf("edges not sorted: %v before %v", a, b)
+		}
+	}
+	for _, e := range edges {
+		if e[0] >= e[1] {
+			t.Errorf("edge %v not normalized u < v", e)
+		}
+	}
+	if g.String() == "" {
+		t.Error("String should be non-empty")
+	}
+}
+
+func TestFromFamily(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, f := range []graph.Family{
+		graph.FamilyPath, graph.FamilyCycle, graph.FamilyStar, graph.FamilyComplete,
+		graph.FamilyGrid, graph.FamilyTree, graph.FamilyRandom,
+	} {
+		g, err := graph.FromFamily(f, 9, 3, rng)
+		if err != nil {
+			t.Errorf("FromFamily(%s): %v", f, err)
+			continue
+		}
+		if !g.Connected() {
+			t.Errorf("FromFamily(%s) disconnected", f)
+		}
+	}
+	g, err := graph.FromFamily(graph.FamilyBoundedD, 9, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Diameter() != 3 {
+		t.Errorf("boundedD diameter = %d", g.Diameter())
+	}
+	if _, err := graph.FromFamily("nope", 5, 1, rng); err == nil {
+		t.Error("unknown family should fail")
+	}
+}

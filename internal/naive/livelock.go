@@ -1,0 +1,120 @@
+package naive
+
+import (
+	"fmt"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+)
+
+// This file packages the Figure 2 counter-example: an 8-node cycle with
+// D = 2, c = 2 on which the Appendix A algorithm live-locks under a fair
+// one-node-per-step rotating schedule. Starting from the configuration of
+// Figure 2(a), the execution becomes periodic — a reset wave chases itself
+// around the cycle forever — and never reaches a legitimate unison
+// configuration. (The paper presents the same phenomenon; our step-level
+// alignment of the figure differs because the figure's node placement is a
+// drawing, but the initial configuration and the rotating schedule are the
+// paper's.)
+
+// LiveLockInstance bundles everything needed to reproduce Figure 2.
+type LiveLockInstance struct {
+	Alg     *Alg
+	Graph   *graph.Graph
+	Initial sa.Config
+	// Script is the periodic activation script: step t activates node
+	// t mod 8, matching the paper's "node v_{t−1} is activated in step t".
+	Script [][]int
+}
+
+// NewLiveLockInstance returns the Figure 2 instance: C_8, D = 2, c = 2 and
+// the initial configuration (0, 0, R0, R1, R2, R3, R4, R4).
+func NewLiveLockInstance() (*LiveLockInstance, error) {
+	const n = 8
+	alg, err := New(2, 2)
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Cycle(n)
+	if err != nil {
+		return nil, err
+	}
+	turns := []Turn{
+		{Kind: Main, Index: 0},
+		{Kind: Main, Index: 0},
+		{Kind: Reset, Index: 0},
+		{Kind: Reset, Index: 1},
+		{Kind: Reset, Index: 2},
+		{Kind: Reset, Index: 3},
+		{Kind: Reset, Index: 4},
+		{Kind: Reset, Index: 4},
+	}
+	cfg := make(sa.Config, n)
+	for i, t := range turns {
+		q, err := alg.State(t)
+		if err != nil {
+			return nil, err
+		}
+		cfg[i] = q
+	}
+	script := make([][]int, n)
+	for i := range script {
+		script[i] = []int{i}
+	}
+	return &LiveLockInstance{Alg: alg, Graph: g, Initial: cfg, Script: script}, nil
+}
+
+// LiveLockReport is the outcome of AnalyzeLiveLock.
+type LiveLockReport struct {
+	// PeriodStart and Period describe the detected cycle in sweep space:
+	// the configuration after sweep PeriodStart+Period equals the one after
+	// sweep PeriodStart (one sweep = 8 steps = one full round).
+	PeriodStart int
+	Period      int
+	// LegitimateSeen reports whether any configuration along the way
+	// (including inside the period) was a legitimate unison configuration.
+	LegitimateSeen bool
+	// Sweeps holds the per-sweep configurations up to the detected period,
+	// for trace output.
+	Sweeps []sa.Config
+}
+
+// AnalyzeLiveLock executes the instance sweep by sweep until the
+// configuration recurs, proving (by determinism of both the algorithm and
+// the schedule) that the execution is periodic from that point on. The
+// execution is a live-lock iff no legitimate configuration was seen.
+func (li *LiveLockInstance) AnalyzeLiveLock(maxSweeps int) (LiveLockReport, error) {
+	n := li.Graph.N()
+	sig := sa.NewSignal(li.Alg.NumStates())
+	edges := li.Graph.Edges()
+
+	cfg := li.Initial.Clone()
+	seen := make(map[string]int)
+	var rep LiveLockReport
+
+	keyOf := func(c sa.Config) string { return fmt.Sprint([]int(c)) }
+
+	for sweep := 0; sweep <= maxSweeps; sweep++ {
+		k := keyOf(cfg)
+		if prev, ok := seen[k]; ok {
+			rep.PeriodStart = prev
+			rep.Period = sweep - prev
+			return rep, nil
+		}
+		seen[k] = sweep
+		rep.Sweeps = append(rep.Sweeps, cfg.Clone())
+		if li.Alg.Legitimate(cfg, edges) {
+			rep.LegitimateSeen = true
+		}
+		// One sweep: activate v0, v1, …, v7 sequentially (one per step).
+		for v := 0; v < n; v++ {
+			sig.Reset()
+			sig.Set(cfg[v])
+			for _, u := range li.Graph.Neighbors(v) {
+				sig.Set(cfg[u])
+			}
+			cfg[v] = li.Alg.Transition(cfg[v], sig, nil)
+		}
+	}
+	return rep, fmt.Errorf("naive: no period detected within %d sweeps", maxSweeps)
+}

@@ -1,0 +1,185 @@
+// Package naive implements the failed reset-based asynchronous unison
+// attempt of Appendix A of the paper, together with the Figure 2 live-lock
+// counter-example that motivates AlgAU's reset-free design.
+//
+// The algorithm consists of a main component with turns T = {0, …, cD} that
+// advance cyclically (ST1), a fault detector that jumps to the first reset
+// turn R0 upon sensing a turn gap (ST2), and a reset wave R0 → R1 → … → RcD
+// → 0 (ST3). Appendix A exhibits an 8-node cycle with D = 2, c = 2 on which
+// a rotating reset wave chases itself forever: the algorithm live-locks and
+// is therefore not a correct self-stabilizing AU algorithm.
+package naive
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/sa"
+)
+
+// Reset is the state-kind marker used by Turn.
+type Kind int
+
+// Turn kinds.
+const (
+	Main  Kind = iota + 1 // a main-component turn ℓ ∈ {0..cD}
+	Reset                 // a reset turn R_i, i ∈ {0..cD}
+)
+
+// Turn is a state of the naive algorithm.
+type Turn struct {
+	Kind  Kind
+	Index int // ℓ for Main, i for Reset
+}
+
+// String renders the turn like the paper ("3" or "R3").
+func (t Turn) String() string {
+	if t.Kind == Reset {
+		return fmt.Sprintf("R%d", t.Index)
+	}
+	return fmt.Sprintf("%d", t.Index)
+}
+
+// Alg is the Appendix A algorithm for given D and constant c > 1.
+// It implements sa.Algorithm with the dense encoding
+//
+//	main turn ℓ ↦ ℓ           (0 … cD)
+//	reset R_i   ↦ cD + 1 + i  (cD+1 … 2cD+1)
+type Alg struct {
+	d, c int
+	m    int // m = cD + 1: number of main turns (and of reset turns)
+}
+
+var (
+	_ sa.Algorithm = (*Alg)(nil)
+	_ sa.Namer     = (*Alg)(nil)
+)
+
+// New returns the naive algorithm for diameter bound d >= 1 and constant
+// c >= 2 (the paper requires c > 1).
+func New(d, c int) (*Alg, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("naive: diameter bound must be >= 1, got %d", d)
+	}
+	if c < 2 {
+		return nil, fmt.Errorf("naive: constant c must be >= 2, got %d", c)
+	}
+	return &Alg{d: d, c: c, m: c*d + 1}, nil
+}
+
+// D returns the diameter bound.
+func (a *Alg) D() int { return a.d }
+
+// C returns the constant c.
+func (a *Alg) C() int { return a.c }
+
+// NumStates returns |Q| = 2(cD + 1).
+func (a *Alg) NumStates() int { return 2 * a.m }
+
+// State encodes a turn.
+func (a *Alg) State(t Turn) (sa.State, error) {
+	if t.Index < 0 || t.Index >= a.m {
+		return 0, fmt.Errorf("naive: turn index %d out of [0,%d)", t.Index, a.m)
+	}
+	switch t.Kind {
+	case Main:
+		return t.Index, nil
+	case Reset:
+		return a.m + t.Index, nil
+	default:
+		return 0, fmt.Errorf("naive: invalid turn kind %d", t.Kind)
+	}
+}
+
+// MustState is State for known-valid turns; it panics on invalid input.
+func (a *Alg) MustState(t Turn) sa.State {
+	q, err := a.State(t)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Turn decodes a state.
+func (a *Alg) Turn(q sa.State) Turn {
+	if q < a.m {
+		return Turn{Kind: Main, Index: q}
+	}
+	return Turn{Kind: Reset, Index: q - a.m}
+}
+
+// IsOutput reports whether q is a main-component turn (the output states).
+func (a *Alg) IsOutput(q sa.State) bool { return q < a.m }
+
+// Output returns the clock value of a main turn.
+func (a *Alg) Output(q sa.State) int { return q }
+
+// StateName implements sa.Namer.
+func (a *Alg) StateName(q sa.State) string { return a.Turn(q).String() }
+
+// Transition implements the three transition types of Appendix A. The
+// algorithm is deterministic; rng is unused.
+func (a *Alg) Transition(q sa.State, sig sa.Signal, _ *rand.Rand) sa.State {
+	t := a.Turn(q)
+	m := a.m
+
+	if t.Kind == Main {
+		l := t.Index
+		next := (l + 1) % m
+		prev := (l - 1 + m) % m
+
+		// ST2: sensing a fault sends the node to R0. The allowed set is
+		// {ℓ−1, ℓ, ℓ+1} (and additionally R_cD when ℓ = 0).
+		allowed := []sa.State{l, next, prev}
+		if l == 0 {
+			allowed = append(allowed, a.MustState(Turn{Kind: Reset, Index: m - 1}))
+		}
+		if !sig.SubsetOf(allowed...) {
+			return a.MustState(Turn{Kind: Reset, Index: 0})
+		}
+
+		// ST1: the usual unison advance, Θ ⊆ {ℓ, ℓ+1}.
+		if sig.SubsetOf(l, next) {
+			return next
+		}
+		return q
+	}
+
+	// ST3: the reset wave.
+	i := t.Index
+	if i != m-1 {
+		// Advance if every sensed state is a reset turn R_j with j >= i.
+		allowed := make([]sa.State, 0, m-i)
+		for j := i; j < m; j++ {
+			allowed = append(allowed, a.MustState(Turn{Kind: Reset, Index: j}))
+		}
+		if sig.SubsetOf(allowed...) {
+			return a.MustState(Turn{Kind: Reset, Index: i + 1})
+		}
+		return q
+	}
+	// i == cD: exit the reset wave back to turn 0 if Θ ⊆ {RcD, 0}.
+	if sig.SubsetOf(q, a.MustState(Turn{Kind: Main, Index: 0})) {
+		return a.MustState(Turn{Kind: Main, Index: 0})
+	}
+	return q
+}
+
+// Legitimate reports whether cfg is a legitimate unison configuration for
+// the naive algorithm: all nodes in main turns, and every edge's endpoint
+// turns adjacent modulo m. (Used to show the live-lock never reaches a
+// legitimate configuration.)
+func (a *Alg) Legitimate(cfg sa.Config, edges [][2]int) bool {
+	for _, q := range cfg {
+		if !a.IsOutput(q) {
+			return false
+		}
+	}
+	for _, e := range edges {
+		d := (cfg[e[0]] - cfg[e[1]] + a.m) % a.m
+		if d != 0 && d != 1 && d != a.m-1 {
+			return false
+		}
+	}
+	return true
+}

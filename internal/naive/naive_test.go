@@ -1,0 +1,239 @@
+package naive_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/naive"
+	"thinunison/internal/sa"
+	"thinunison/internal/sched"
+	"thinunison/internal/sim"
+)
+
+func mustAlg(t *testing.T, d, c int) *naive.Alg {
+	t.Helper()
+	alg, err := naive.New(d, c)
+	if err != nil {
+		t.Fatalf("New(%d,%d): %v", d, c, err)
+	}
+	return alg
+}
+
+func TestConstruction(t *testing.T) {
+	if _, err := naive.New(0, 2); err == nil {
+		t.Error("New(0,2) should fail")
+	}
+	if _, err := naive.New(2, 1); err == nil {
+		t.Error("New(2,1) should fail (paper requires c > 1)")
+	}
+	alg := mustAlg(t, 2, 2)
+	if got, want := alg.NumStates(), 10; got != want {
+		t.Errorf("NumStates = %d, want %d", got, want)
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	alg := mustAlg(t, 3, 2)
+	for q := 0; q < alg.NumStates(); q++ {
+		turn := alg.Turn(q)
+		back, err := alg.State(turn)
+		if err != nil {
+			t.Fatalf("State(%v): %v", turn, err)
+		}
+		if back != q {
+			t.Errorf("round trip %d -> %v -> %d", q, turn, back)
+		}
+		if alg.IsOutput(q) != (turn.Kind == naive.Main) {
+			t.Errorf("state %d: IsOutput=%v kind=%v", q, alg.IsOutput(q), turn.Kind)
+		}
+	}
+	if _, err := alg.State(naive.Turn{Kind: naive.Main, Index: 99}); err == nil {
+		t.Error("out-of-range turn should fail")
+	}
+}
+
+func TestST1Advance(t *testing.T) {
+	alg := mustAlg(t, 2, 2)
+	sig := sa.NewSignal(alg.NumStates())
+	q0 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 0})
+	q1 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 1})
+	// All neighbors at 0: advance to 1.
+	sig.Set(q0)
+	if got := alg.Transition(q0, sig, nil); got != q1 {
+		t.Errorf("ST1 from uniform 0: got %v", alg.Turn(got))
+	}
+	// Neighbors at {0, 1}: still advance.
+	sig.Set(q1)
+	if got := alg.Transition(q0, sig, nil); got != q1 {
+		t.Errorf("ST1 from {0,1}: got %v", alg.Turn(got))
+	}
+	// But the node at 1 sensing {0,1} must wait.
+	if got := alg.Transition(q1, sig, nil); got != q1 {
+		t.Errorf("node at 1 sensing {0,1} should stay, got %v", alg.Turn(got))
+	}
+}
+
+func TestST2FaultDetection(t *testing.T) {
+	alg := mustAlg(t, 2, 2)
+	sig := sa.NewSignal(alg.NumStates())
+	q0 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 0})
+	q2 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 2})
+	r0 := alg.MustState(naive.Turn{Kind: naive.Reset, Index: 0})
+	r4 := alg.MustState(naive.Turn{Kind: naive.Reset, Index: 4})
+	// Turn 0 sensing turn 2 (a gap): reset.
+	sig.Set(q0)
+	sig.Set(q2)
+	if got := alg.Transition(q0, sig, nil); got != r0 {
+		t.Errorf("ST2 on gap: got %v, want R0", alg.Turn(got))
+	}
+	// Turn 0 sensing RcD is allowed (the wave exit handshake): no reset.
+	sig.Reset()
+	sig.Set(q0)
+	sig.Set(r4)
+	if got := alg.Transition(q0, sig, nil); got != q0 {
+		t.Errorf("turn 0 sensing RcD should stay, got %v", alg.Turn(got))
+	}
+	// But turn 1 sensing RcD must reset (only ℓ = 0 tolerates RcD).
+	q1 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 1})
+	sig.Reset()
+	sig.Set(q1)
+	sig.Set(r4)
+	if got := alg.Transition(q1, sig, nil); got != r0 {
+		t.Errorf("turn 1 sensing RcD should reset, got %v", alg.Turn(got))
+	}
+}
+
+func TestST3Wave(t *testing.T) {
+	alg := mustAlg(t, 2, 2)
+	sig := sa.NewSignal(alg.NumStates())
+	r := func(i int) sa.State { return alg.MustState(naive.Turn{Kind: naive.Reset, Index: i}) }
+	q0 := alg.MustState(naive.Turn{Kind: naive.Main, Index: 0})
+	// R1 sensing {R1, R2}: advance to R2.
+	sig.Set(r(1))
+	sig.Set(r(2))
+	if got := alg.Transition(r(1), sig, nil); got != r(2) {
+		t.Errorf("ST3: got %v, want R2", alg.Turn(got))
+	}
+	// R1 sensing R0 (behind it): blocked.
+	sig.Set(r(0))
+	if got := alg.Transition(r(1), sig, nil); got != r(1) {
+		t.Errorf("ST3 blocked by R0: got %v", alg.Turn(got))
+	}
+	// RcD sensing {RcD, 0}: exit to 0.
+	sig.Reset()
+	sig.Set(r(4))
+	sig.Set(q0)
+	if got := alg.Transition(r(4), sig, nil); got != q0 {
+		t.Errorf("ST3 exit: got %v, want 0", alg.Turn(got))
+	}
+	// RcD sensing a lower reset turn: blocked.
+	sig.Set(r(3))
+	if got := alg.Transition(r(4), sig, nil); got != r(4) {
+		t.Errorf("ST3 exit blocked: got %v", alg.Turn(got))
+	}
+}
+
+// TestFigure2LiveLock is experiment F2: from the Figure 2(a) configuration,
+// under the paper's fair rotating schedule, the execution of the Appendix A
+// algorithm becomes periodic without ever reaching a legitimate
+// configuration — a live-lock.
+func TestFigure2LiveLock(t *testing.T) {
+	li, err := naive.NewLiveLockInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := li.AnalyzeLiveLock(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Period == 0 {
+		t.Fatal("no period detected")
+	}
+	if rep.LegitimateSeen {
+		t.Error("execution reached a legitimate configuration; not a live-lock")
+	}
+	t.Logf("live-lock: configurations repeat with period %d sweeps starting at sweep %d",
+		rep.Period, rep.PeriodStart)
+}
+
+// TestLiveLockRunsForever drives the same instance through the generic
+// engine for 10^4 rounds and confirms it never stabilizes, while AlgAU on
+// the very same graph and schedule stabilizes quickly — the head-to-head
+// comparison motivating the paper's reset-free design.
+func TestLiveLockRunsForever(t *testing.T) {
+	li, err := naive.NewLiveLockInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(li.Graph, li.Alg, sim.Options{
+		Initial:   li.Initial,
+		Scheduler: sched.NewScripted(li.Script, true),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := li.Graph.Edges()
+	rounds, err := eng.RunUntil(func(e *sim.Engine) bool {
+		return li.Alg.Legitimate(e.Config(), edges)
+	}, 10000)
+	if err == nil {
+		t.Fatalf("naive algorithm unexpectedly stabilized after %d rounds", rounds)
+	}
+
+	// AlgAU on the same instance, same schedule.
+	au, err := core.NewAU(li.Graph.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auEng, err := sim.New(li.Graph, au, sim.Options{
+		Scheduler: sched.NewScripted(li.Script, true),
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := au.K()
+	rounds, err = auEng.RunUntil(func(e *sim.Engine) bool {
+		return au.GraphGood(li.Graph, e.Config())
+	}, 50*k*k*k)
+	if err != nil {
+		t.Fatalf("AlgAU did not stabilize on the live-lock instance: %v", err)
+	}
+	t.Logf("AlgAU stabilized in %d rounds on the instance where the naive algorithm live-locks", rounds)
+}
+
+// TestNaiveFailsFromRandomConfigs quantifies the failure mode: across random
+// initial configurations on cycles, the naive algorithm frequently fails to
+// stabilize within a generous budget (while AlgAU always succeeds; see the
+// core package tests). This regenerates the qualitative claim of Appendix A.
+func TestNaiveFailsFromRandomConfigs(t *testing.T) {
+	alg := mustAlg(t, 2, 2)
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := g.Edges()
+	failures := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		eng, err := sim.New(g, alg, sim.Options{
+			Initial:   sa.Random(g.N(), alg.NumStates(), rng),
+			Scheduler: sched.NewRoundRobin(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.RunUntil(func(e *sim.Engine) bool {
+			return alg.Legitimate(e.Config(), edges)
+		}, 2000); err != nil {
+			failures++
+		}
+	}
+	t.Logf("naive algorithm failed to stabilize in %d/%d random trials", failures, trials)
+	if failures == 0 {
+		t.Log("note: all random trials stabilized; the live-lock needs the crafted configuration")
+	}
+}

@@ -1,0 +1,5 @@
+package runtime_test
+
+import "math/rand"
+
+func newRng() *rand.Rand { return rand.New(rand.NewSource(42)) }

@@ -1,0 +1,118 @@
+package runtime_test
+
+import (
+	"testing"
+	"time"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/runtime"
+	"thinunison/internal/sa"
+)
+
+// TestConcurrentStabilization runs AlgAU with one goroutine per node under
+// the Go scheduler's asynchrony and checks that the pulse clock stabilizes:
+// a relaxed snapshot satisfies "good graph" continuously.
+func TestConcurrentStabilization(t *testing.T) {
+	g, err := graph.RandomConnected(12, 0.3, newRng())
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(g.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(g, au, nil, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	if !rt.AwaitStable(func(cfg sa.Config) bool {
+		return au.GraphGood(g, cfg)
+	}, 20*time.Millisecond, 30*time.Second) {
+		t.Fatal("pulse clock did not stabilize under concurrent execution")
+	}
+
+	// Liveness: every node keeps transitioning after stabilization.
+	before := rt.Activations()
+	time.Sleep(20 * time.Millisecond)
+	after := rt.Activations()
+	for v := range before {
+		if after[v] <= before[v] {
+			t.Errorf("node %d stopped being activated", v)
+		}
+	}
+}
+
+// TestConcurrentFaultRecovery injects transient faults mid-flight and checks
+// re-stabilization.
+func TestConcurrentFaultRecovery(t *testing.T) {
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(g.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(g, au, nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	good := func(cfg sa.Config) bool { return au.GraphGood(g, cfg) }
+	if !rt.AwaitStable(good, 10*time.Millisecond, 30*time.Second) {
+		t.Fatal("initial stabilization failed")
+	}
+	for burst := 0; burst < 3; burst++ {
+		for v := 0; v < g.N(); v += 2 {
+			if err := rt.Inject(v, burst%au.NumStates()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !rt.AwaitStable(good, 10*time.Millisecond, 30*time.Second) {
+			t.Fatalf("burst %d: no recovery", burst)
+		}
+	}
+}
+
+func TestLifecycleErrors(t *testing.T) {
+	g, err := graph.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(g, au, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err == nil {
+		t.Error("double Start should fail")
+	}
+	if err := rt.Inject(99, 0); err == nil {
+		t.Error("out-of-range inject should fail")
+	}
+	if err := rt.Inject(0, 10_000); err == nil {
+		t.Error("out-of-range state should fail")
+	}
+	rt.Stop()
+	rt.Stop() // idempotent
+
+	if _, err := runtime.New(g, au, sa.Config{0}, 1); err == nil {
+		t.Error("wrong-length initial config should fail")
+	}
+}

@@ -1,0 +1,239 @@
+// Package sa defines the simplified stone age (SA) computational model of
+// Emek & Keren (PODC 2021), itself a restriction of the stone age model of
+// Emek & Wattenhofer (PODC 2013).
+//
+// An algorithm is a 4-tuple Π = ⟨Q, Q_O, ω, δ⟩ over a fixed finite state set
+// Q. Nodes are anonymous randomized finite state machines; a node senses, for
+// every state q ∈ Q, whether q appears in its inclusive neighborhood (the
+// "signal", a bit vector over Q — no counting, no identities, no collision
+// detection). When activated, a node draws its next state uniformly from
+// δ(q, signal).
+//
+// States are represented as dense integers in [0, NumStates). Signals are
+// bitsets over the state set.
+package sa
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// State is a node state: a dense integer in [0, Algorithm.NumStates()).
+type State = int
+
+// Signal is the sensing bit vector of a node: bit q is set iff some node in
+// the inclusive neighborhood resides in state q. Signals deliberately expose
+// only set semantics — SA nodes cannot count occurrences or tell neighbors
+// apart.
+type Signal struct {
+	bits []uint64
+}
+
+// NewSignal returns an empty signal over a state space of the given size.
+func NewSignal(numStates int) Signal {
+	return Signal{bits: make([]uint64, (numStates+63)/64)}
+}
+
+// Set marks state q as sensed.
+func (s Signal) Set(q State) { s.bits[q>>6] |= 1 << uint(q&63) }
+
+// Clear unmarks state q.
+func (s Signal) Clear(q State) { s.bits[q>>6] &^= 1 << uint(q&63) }
+
+// Has reports whether state q is sensed.
+func (s Signal) Has(q State) bool { return s.bits[q>>6]&(1<<uint(q&63)) != 0 }
+
+// Reset clears all bits, reusing the underlying storage.
+func (s Signal) Reset() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// HasAny reports whether any of the given states is sensed.
+func (s Signal) HasAny(qs ...State) bool {
+	for _, q := range qs {
+		if s.Has(q) {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every sensed state is among the allowed states.
+// It is the Λ ⊆ {...} test that the AlgAU transition conditions are phrased
+// in. The allowed list is expected to be tiny (2-3 states).
+func (s Signal) SubsetOf(allowed ...State) bool {
+	var mask Signal
+	mask.bits = make([]uint64, len(s.bits))
+	for _, q := range allowed {
+		mask.bits[q>>6] |= 1 << uint(q&63)
+	}
+	for i, w := range s.bits {
+		if w&^mask.bits[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// States returns the sorted list of sensed states (for tests and traces).
+func (s Signal) States() []State {
+	var out []State
+	for i, w := range s.bits {
+		for w != 0 {
+			b := w & (-w)
+			q := i*64 + popLowBitIndex(b)
+			out = append(out, q)
+			w &^= b
+		}
+	}
+	return out
+}
+
+// Count returns the number of sensed states.
+func (s Signal) Count() int {
+	n := 0
+	for _, w := range s.bits {
+		for w != 0 {
+			w &= w - 1
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports whether two signals over the same state space are identical.
+func (s Signal) Equal(t Signal) bool {
+	if len(s.bits) != len(t.bits) {
+		return false
+	}
+	for i := range s.bits {
+		if s.bits[i] != t.bits[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy of the signal.
+func (s Signal) Clone() Signal {
+	out := Signal{bits: make([]uint64, len(s.bits))}
+	copy(out.bits, s.bits)
+	return out
+}
+
+func popLowBitIndex(b uint64) int {
+	i := 0
+	for b > 1 {
+		b >>= 1
+		i++
+	}
+	return i
+}
+
+// Algorithm is a stone age algorithm Π = ⟨Q, Q_O, ω, δ⟩.
+//
+// Implementations must be deterministic functions of (state, signal, the rng
+// stream): all nodes obey the same transition function, and the adversarial
+// scheduler is oblivious to the coin tosses.
+type Algorithm interface {
+	// NumStates returns |Q|. States are 0..NumStates()-1.
+	NumStates() int
+
+	// IsOutput reports whether q ∈ Q_O.
+	IsOutput(q State) bool
+
+	// Output returns ω(q) for an output state q. The result is
+	// task-specific (an AU clock value, a 0/1 LE or MIS mark, ...).
+	// It must only be called with IsOutput(q) == true.
+	Output(q State) int
+
+	// Transition implements δ: it returns the next state of a node
+	// residing in state q that senses the given signal, drawing any random
+	// choice from rng. Deterministic algorithms ignore rng. Returning q
+	// means the node keeps its state.
+	Transition(q State, sig Signal, rng *rand.Rand) State
+}
+
+// Namer is an optional extension of Algorithm providing human-readable state
+// names for traces, diagrams and error messages.
+type Namer interface {
+	StateName(q State) string
+}
+
+// StateName renders state q of alg, using Namer if available.
+func StateName(alg Algorithm, q State) string {
+	if n, ok := alg.(Namer); ok {
+		return n.StateName(q)
+	}
+	return fmt.Sprintf("q%d", q)
+}
+
+// Config is a configuration C : V → Q, stored densely by NodeID.
+type Config []State
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config) Equal(d Config) bool {
+	if len(c) != len(d) {
+		return false
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Uniform returns a configuration assigning state q to all n nodes.
+func Uniform(n int, q State) Config {
+	c := make(Config, n)
+	for i := range c {
+		c[i] = q
+	}
+	return c
+}
+
+// Random returns a configuration drawing each node's state uniformly from
+// [0, numStates). This is the standard adversarial-initialization proxy for
+// self-stabilization experiments.
+func Random(n, numStates int, rng *rand.Rand) Config {
+	c := make(Config, n)
+	for i := range c {
+		c[i] = rng.Intn(numStates)
+	}
+	return c
+}
+
+// IsOutputConfig reports whether every node resides in an output state.
+func (c Config) IsOutputConfig(alg Algorithm) bool {
+	for _, q := range c {
+		if !alg.IsOutput(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the configuration with the algorithm's state names.
+func (c Config) String(alg Algorithm) string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, q := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(StateName(alg, q))
+	}
+	b.WriteByte(']')
+	return b.String()
+}

@@ -1,0 +1,258 @@
+// Package sched implements the activation schedulers ("daemons") of the SA
+// model: an adversary chooses, for every step t, the subset A_t ⊆ V of nodes
+// activated at t, subject only to the fairness requirement that every node
+// is activated infinitely often.
+//
+// The package also provides RoundTracker, which implements the round
+// operator ϱ of the paper: ϱ(t) is the earliest time such that every node is
+// activated at least once in [t, ϱ(t)), and R(i) = ϱ^i(0). All stabilization
+// times in the paper (and in our experiments) are measured in rounds R(i).
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Scheduler chooses the activation set for each step. Implementations decide
+// A_t as a function of the step index and their own state; they are oblivious
+// to node coin tosses, matching the paper's adversary. The returned slice is
+// only valid until the next call.
+type Scheduler interface {
+	// Activations returns A_t for step t over n nodes. It must eventually
+	// activate every node (fairness); implementations in this package all
+	// guarantee a bounded round length.
+	Activations(t int, n int) []int
+
+	// Name returns a short identifier for reports.
+	Name() string
+}
+
+// Synchronous activates every node at every step: A_t = V, so R(i) = i.
+type Synchronous struct{ buf []int }
+
+// NewSynchronous returns the synchronous scheduler.
+func NewSynchronous() *Synchronous { return &Synchronous{} }
+
+// Activations returns all n nodes.
+func (s *Synchronous) Activations(_ int, n int) []int {
+	if cap(s.buf) < n {
+		s.buf = make([]int, n)
+		for i := range s.buf {
+			s.buf[i] = i
+		}
+	}
+	return s.buf[:n]
+}
+
+// Name implements Scheduler.
+func (s *Synchronous) Name() string { return "synchronous" }
+
+// RoundRobin activates exactly one node per step, cycling in a fixed order.
+// It is the "central daemon" extreme: rounds have length exactly n.
+type RoundRobin struct{ buf [1]int }
+
+// NewRoundRobin returns the round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Activations returns {t mod n}.
+func (s *RoundRobin) Activations(t int, n int) []int {
+	s.buf[0] = t % n
+	return s.buf[:]
+}
+
+// Name implements Scheduler.
+func (s *RoundRobin) Name() string { return "round-robin" }
+
+// RandomSubset activates each node independently with probability p each
+// step, but closes every round within maxGap steps by force-activating nodes
+// that have starved, keeping the schedule fair with bounded rounds.
+type RandomSubset struct {
+	p      float64
+	maxGap int
+	rng    *rand.Rand
+	last   []int
+	buf    []int
+}
+
+// NewRandomSubset returns a random-subset scheduler with inclusion
+// probability p, force-activating any node that has not run for maxGap
+// steps. maxGap <= 0 defaults to 64.
+func NewRandomSubset(p float64, maxGap int, rng *rand.Rand) *RandomSubset {
+	if maxGap <= 0 {
+		maxGap = 64
+	}
+	return &RandomSubset{p: p, maxGap: maxGap, rng: rng}
+}
+
+// Activations implements Scheduler.
+func (s *RandomSubset) Activations(t int, n int) []int {
+	if len(s.last) != n {
+		s.last = make([]int, n)
+		for i := range s.last {
+			s.last[i] = t
+		}
+	}
+	s.buf = s.buf[:0]
+	for v := 0; v < n; v++ {
+		if s.rng.Float64() < s.p || t-s.last[v] >= s.maxGap {
+			s.buf = append(s.buf, v)
+			s.last[v] = t
+		}
+	}
+	if len(s.buf) == 0 { // never emit an empty step
+		v := s.rng.Intn(n)
+		s.buf = append(s.buf, v)
+		s.last[v] = t
+	}
+	return s.buf
+}
+
+// Name implements Scheduler.
+func (s *RandomSubset) Name() string { return fmt.Sprintf("random-subset(p=%.2f)", s.p) }
+
+// Laggard activates all nodes except one designated laggard every step; the
+// laggard runs only once every period steps. This is a classic adversarial
+// asynchrony pattern: one node is almost always stale.
+type Laggard struct {
+	victim int
+	period int
+	buf    []int
+}
+
+// NewLaggard returns a laggard scheduler starving node victim to one
+// activation per period steps (period >= 1).
+func NewLaggard(victim, period int) *Laggard {
+	if period < 1 {
+		period = 1
+	}
+	return &Laggard{victim: victim, period: period}
+}
+
+// Activations implements Scheduler.
+func (s *Laggard) Activations(t int, n int) []int {
+	s.buf = s.buf[:0]
+	for v := 0; v < n; v++ {
+		if v == s.victim%n {
+			if t%s.period == s.period-1 {
+				s.buf = append(s.buf, v)
+			}
+			continue
+		}
+		s.buf = append(s.buf, v)
+	}
+	return s.buf
+}
+
+// Name implements Scheduler.
+func (s *Laggard) Name() string {
+	return fmt.Sprintf("laggard(victim=%d, period=%d)", s.victim, s.period)
+}
+
+// Scripted replays an explicit activation script; after the script is
+// exhausted it falls back to synchronous activation (keeping the schedule
+// fair). It is used to reproduce hand-crafted executions such as the
+// Figure 2 live-lock.
+type Scripted struct {
+	script   [][]int
+	fallback *Synchronous
+	loop     bool
+}
+
+// NewScripted returns a scheduler replaying script; if loop is true the
+// script repeats forever, otherwise the schedule becomes synchronous after
+// the script ends.
+func NewScripted(script [][]int, loop bool) *Scripted {
+	return &Scripted{script: script, fallback: NewSynchronous(), loop: loop}
+}
+
+// Activations implements Scheduler.
+func (s *Scripted) Activations(t int, n int) []int {
+	if len(s.script) == 0 {
+		return s.fallback.Activations(t, n)
+	}
+	if t < len(s.script) {
+		return s.script[t]
+	}
+	if s.loop {
+		return s.script[t%len(s.script)]
+	}
+	return s.fallback.Activations(t, n)
+}
+
+// Name implements Scheduler.
+func (s *Scripted) Name() string { return "scripted" }
+
+// Permuted activates nodes one at a time following a fresh random permutation
+// each round; every round has length exactly n (a fair "distributed daemon"
+// with maximal interleaving).
+type Permuted struct {
+	rng  *rand.Rand
+	perm []int
+	buf  [1]int
+}
+
+// NewPermuted returns the per-round random permutation scheduler.
+func NewPermuted(rng *rand.Rand) *Permuted { return &Permuted{rng: rng} }
+
+// Activations implements Scheduler.
+func (s *Permuted) Activations(t int, n int) []int {
+	if t%n == 0 || len(s.perm) != n {
+		s.perm = s.rng.Perm(n)
+	}
+	s.buf[0] = s.perm[t%n]
+	return s.buf[:]
+}
+
+// Name implements Scheduler.
+func (s *Permuted) Name() string { return "permuted" }
+
+// RoundTracker incrementally computes the round operator ϱ and the round
+// boundaries R(0) = 0 < R(1) < R(2) < ... from an observed activation
+// sequence. Feed it each step's activation set in order.
+type RoundTracker struct {
+	n         int
+	pending   map[int]struct{}
+	rounds    int
+	boundary  []int // boundary[i] = R(i)
+	stepsSeen int
+}
+
+// NewRoundTracker returns a tracker for n nodes. R(0) = 0 is implicit.
+func NewRoundTracker(n int) *RoundTracker {
+	t := &RoundTracker{n: n, boundary: []int{0}}
+	t.resetPending()
+	return t
+}
+
+func (t *RoundTracker) resetPending() {
+	t.pending = make(map[int]struct{}, t.n)
+	for v := 0; v < t.n; v++ {
+		t.pending[v] = struct{}{}
+	}
+}
+
+// Observe records the activation set of the current step. It must be called
+// once per step, in order.
+func (t *RoundTracker) Observe(activated []int) {
+	for _, v := range activated {
+		delete(t.pending, v)
+	}
+	t.stepsSeen++
+	if len(t.pending) == 0 {
+		t.rounds++
+		t.boundary = append(t.boundary, t.stepsSeen)
+		t.resetPending()
+	}
+}
+
+// Rounds returns the number of completed rounds, i.e. the largest i with
+// R(i) <= steps observed.
+func (t *RoundTracker) Rounds() int { return t.rounds }
+
+// Boundary returns R(i), the step index at which round i completed.
+// Boundary(0) = 0. It panics if round i has not completed yet.
+func (t *RoundTracker) Boundary(i int) int { return t.boundary[i] }
+
+// Steps returns the number of steps observed so far.
+func (t *RoundTracker) Steps() int { return t.stepsSeen }

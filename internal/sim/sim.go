@@ -1,0 +1,251 @@
+// Package sim executes stone age algorithms on graphs under adversarial
+// schedulers, exactly following the discrete-step semantics of the paper:
+// at step t every activated node reads the configuration C_t (its signal)
+// and all activated nodes update simultaneously to produce C_{t+1}.
+//
+// The engine is deterministic given its seed, tracks rounds via the round
+// operator ϱ, and exposes hooks for invariant checking and tracing.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+	"thinunison/internal/sched"
+)
+
+// ErrBudgetExhausted is returned by RunUntil when the predicate did not hold
+// within the allotted number of rounds.
+var ErrBudgetExhausted = errors.New("sim: round budget exhausted before condition held")
+
+// Hook observes the engine after each step. Hooks may record traces or check
+// invariants; returning an error aborts the run.
+type Hook func(e *Engine) error
+
+// Engine drives one execution of an sa.Algorithm.
+type Engine struct {
+	g     *graph.Graph
+	alg   sa.Algorithm
+	sched sched.Scheduler
+	rng   *rand.Rand
+
+	cfg     sa.Config
+	next    sa.Config
+	signal  sa.Signal
+	step    int
+	tracker *sched.RoundTracker
+	hooks   []Hook
+
+	lastActivated []int
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Initial is the adversarially chosen initial configuration C0.
+	// If nil, a uniformly random configuration is drawn from the engine's
+	// rng (the standard self-stabilization benchmark initialization).
+	Initial sa.Config
+
+	// Scheduler decides activation sets. If nil, the synchronous scheduler
+	// is used.
+	Scheduler sched.Scheduler
+
+	// Seed seeds the engine's private rng (coin tosses and, if Initial is
+	// nil, the initial configuration).
+	Seed int64
+}
+
+// New returns an engine for alg on g.
+func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	s := opts.Scheduler
+	if s == nil {
+		s = sched.NewSynchronous()
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	cfg := opts.Initial
+	if cfg == nil {
+		cfg = sa.Random(g.N(), alg.NumStates(), rng)
+	} else {
+		if len(cfg) != g.N() {
+			return nil, fmt.Errorf("sim: initial configuration has %d states for %d nodes", len(cfg), g.N())
+		}
+		for v, q := range cfg {
+			if q < 0 || q >= alg.NumStates() {
+				return nil, fmt.Errorf("sim: initial state %d of node %d out of range [0,%d)", q, v, alg.NumStates())
+			}
+		}
+		cfg = cfg.Clone()
+	}
+	return &Engine{
+		g:       g,
+		alg:     alg,
+		sched:   s,
+		rng:     rng,
+		cfg:     cfg,
+		next:    make(sa.Config, g.N()),
+		signal:  sa.NewSignal(alg.NumStates()),
+		tracker: sched.NewRoundTracker(g.N()),
+	}, nil
+}
+
+// AddHook registers a post-step hook.
+func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+
+// Graph returns the underlying graph.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Algorithm returns the algorithm under execution.
+func (e *Engine) Algorithm() sa.Algorithm { return e.alg }
+
+// Config returns the current configuration. The slice is owned by the
+// engine; clone it before mutating.
+func (e *Engine) Config() sa.Config { return e.cfg }
+
+// SetState overwrites the state of node v in the current configuration.
+// It models a transient fault (adversarial state corruption).
+func (e *Engine) SetState(v int, q sa.State) error {
+	if v < 0 || v >= e.g.N() {
+		return fmt.Errorf("sim: node %d out of range", v)
+	}
+	if q < 0 || q >= e.alg.NumStates() {
+		return fmt.Errorf("sim: state %d out of range", q)
+	}
+	e.cfg[v] = q
+	return nil
+}
+
+// InjectFaults corrupts count distinct random nodes to uniformly random
+// states, returning the affected nodes. It models a burst of transient
+// faults mid-execution.
+func (e *Engine) InjectFaults(count int) []int {
+	if count > e.g.N() {
+		count = e.g.N()
+	}
+	perm := e.rng.Perm(e.g.N())[:count]
+	for _, v := range perm {
+		e.cfg[v] = e.rng.Intn(e.alg.NumStates())
+	}
+	return perm
+}
+
+// Step executes one step: it queries the scheduler for A_t, computes the
+// signal of each activated node under C_t, applies δ simultaneously, and
+// advances to C_{t+1}.
+func (e *Engine) Step() error {
+	activated := e.sched.Activations(e.step, e.g.N())
+	copy(e.next, e.cfg)
+	for _, v := range activated {
+		e.SignalOf(v, &e.signal)
+		e.next[v] = e.alg.Transition(e.cfg[v], e.signal, e.rng)
+	}
+	e.cfg, e.next = e.next, e.cfg
+	e.tracker.Observe(activated)
+	e.lastActivated = activated
+	e.step++
+	for _, h := range e.hooks {
+		if err := h(e); err != nil {
+			return fmt.Errorf("sim: hook at step %d: %w", e.step, err)
+		}
+	}
+	return nil
+}
+
+// SignalOf computes the signal of node v under the current configuration
+// into sig (which is reset first).
+func (e *Engine) SignalOf(v int, sig *sa.Signal) {
+	sig.Reset()
+	sig.Set(e.cfg[v])
+	for _, u := range e.g.Neighbors(v) {
+		sig.Set(e.cfg[u])
+	}
+}
+
+// Step returns the number of steps executed so far (the current time t).
+func (e *Engine) StepCount() int { return e.step }
+
+// Rounds returns the number of completed rounds R(i) <= current time.
+func (e *Engine) Rounds() int { return e.tracker.Rounds() }
+
+// RoundBoundary returns R(i) in steps.
+func (e *Engine) RoundBoundary(i int) int { return e.tracker.Boundary(i) }
+
+// LastActivated returns the activation set of the most recent step.
+func (e *Engine) LastActivated() []int { return e.lastActivated }
+
+// RunRounds executes steps until the given number of additional rounds have
+// completed.
+func (e *Engine) RunRounds(rounds int) error {
+	target := e.tracker.Rounds() + rounds
+	for e.tracker.Rounds() < target {
+		if err := e.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunUntil executes steps until cond holds (checked after every step) or
+// maxRounds rounds elapse, returning the number of rounds consumed. If the
+// budget is exhausted it returns ErrBudgetExhausted.
+func (e *Engine) RunUntil(cond func(e *Engine) bool, maxRounds int) (int, error) {
+	start := e.tracker.Rounds()
+	if cond(e) {
+		return 0, nil
+	}
+	for e.tracker.Rounds()-start < maxRounds {
+		if err := e.Step(); err != nil {
+			return e.tracker.Rounds() - start, err
+		}
+		if cond(e) {
+			return e.tracker.Rounds() - start, nil
+		}
+	}
+	return maxRounds, ErrBudgetExhausted
+}
+
+// StabilizationResult reports the outcome of RunToStabilization.
+type StabilizationResult struct {
+	// Rounds is the number of rounds until the stability condition first
+	// held (the paper's stabilization time).
+	Rounds int
+	// Steps is the corresponding number of scheduler steps.
+	Steps int
+}
+
+// RunToStabilization runs until cond holds and then verifies that it keeps
+// holding for confirmRounds further rounds (self-stabilization demands
+// closure, not just a lucky snapshot). If the condition is violated during
+// confirmation the search resumes. Returns the stabilization round count.
+func (e *Engine) RunToStabilization(cond func(e *Engine) bool, confirmRounds, maxRounds int) (StabilizationResult, error) {
+	start := e.tracker.Rounds()
+	for {
+		r, err := e.RunUntil(cond, maxRounds-(e.tracker.Rounds()-start))
+		if err != nil {
+			return StabilizationResult{Rounds: r}, err
+		}
+		hitRounds := e.tracker.Rounds()
+		hitSteps := e.step
+		ok := true
+		for e.tracker.Rounds()-hitRounds < confirmRounds {
+			if err := e.Step(); err != nil {
+				return StabilizationResult{}, err
+			}
+			if !cond(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return StabilizationResult{Rounds: hitRounds - start, Steps: hitSteps}, nil
+		}
+		if e.tracker.Rounds()-start >= maxRounds {
+			return StabilizationResult{Rounds: maxRounds}, ErrBudgetExhausted
+		}
+	}
+}

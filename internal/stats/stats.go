@@ -1,0 +1,196 @@
+// Package stats provides the small statistics and reporting toolkit used by
+// the experiment harness: summary statistics over round-count samples and
+// fixed-width table rendering for the regenerated paper artifacts.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Median float64
+	P95    float64
+	StdDev float64
+}
+
+// Summarize computes summary statistics; it returns a zero Summary for an
+// empty sample.
+func Summarize(sample []float64) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	s := append([]float64(nil), sample...)
+	sort.Float64s(s)
+	var sum, sq float64
+	for _, v := range s {
+		sum += v
+	}
+	mean := sum / float64(len(s))
+	for _, v := range s {
+		sq += (v - mean) * (v - mean)
+	}
+	return Summary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Mean:   mean,
+		Median: Quantile(s, 0.5),
+		P95:    Quantile(s, 0.95),
+		StdDev: math.Sqrt(sq / float64(len(s))),
+	}
+}
+
+// SummarizeInts is Summarize over integer samples.
+func SummarizeInts(sample []int) Summary {
+	f := make([]float64, len(sample))
+	for i, v := range sample {
+		f[i] = float64(v)
+	}
+	return Summarize(f)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an already sorted sample
+// using linear interpolation.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FitPowerLaw fits y ≈ a·x^b by least squares in log-log space and returns
+// the exponent b and the coefficient a. It is used to check growth shapes
+// (e.g. AU stabilization vs D should have exponent <= 3). Points with
+// non-positive coordinates are skipped; fitting needs at least two usable
+// points, otherwise ok is false.
+func FitPowerLaw(xs, ys []float64) (a, b float64, ok bool) {
+	var lx, ly []float64
+	for i := range xs {
+		if i < len(ys) && xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, false
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range lx {
+		sx += lx[i]
+		sy += ly[i]
+		sxx += lx[i] * lx[i]
+		sxy += lx[i] * ly[i]
+	}
+	n := float64(len(lx))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, false
+	}
+	b = (n*sxy - sx*sy) / den
+	a = math.Exp((sy - b*sx) / n)
+	return a, b, true
+}
+
+// Table is a fixed-width text table with a title, used for all experiment
+// reports.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Render returns the table as fixed-width text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Log2 returns ceil(log2(n)) for n >= 1 (a convenience for budget
+// formulas).
+func Log2(n int) int {
+	l := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		l++
+	}
+	if l == 0 {
+		return 1
+	}
+	return l
+}

@@ -1,0 +1,126 @@
+package stats_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"thinunison/internal/stats"
+)
+
+func TestSummarize(t *testing.T) {
+	s := stats.Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.Median != 3 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.StdDev < 1.41 || s.StdDev > 1.42 {
+		t.Errorf("StdDev = %v, want ~1.414", s.StdDev)
+	}
+	if z := stats.Summarize(nil); z.N != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	i := stats.SummarizeInts([]int{10, 20})
+	if i.Mean != 15 {
+		t.Errorf("SummarizeInts mean = %v", i.Mean)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3.0, 2},
+	}
+	for _, c := range cases {
+		if got := stats.Quantile(sorted, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if stats.Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if stats.Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton quantile")
+	}
+}
+
+// TestSummaryOrderingProperty: Min <= Median <= Max and Min <= Mean <= Max.
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		// The package is used on round counts; restrict to magnitudes where
+		// the sample sum cannot overflow.
+		var clean []float64
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e12 {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := stats.Summarize(clean)
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.Median <= s.P95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// y = 2 x^3 exactly.
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 2 * x * x * x
+	}
+	a, b, ok := stats.FitPowerLaw(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(b-3) > 1e-9 || math.Abs(a-2) > 1e-9 {
+		t.Errorf("fit = %v * x^%v, want 2 * x^3", a, b)
+	}
+	// Degenerate inputs.
+	if _, _, ok := stats.FitPowerLaw([]float64{1}, []float64{1}); ok {
+		t.Error("single point should not fit")
+	}
+	if _, _, ok := stats.FitPowerLaw([]float64{-1, 0}, []float64{1, 2}); ok {
+		t.Error("non-positive xs should not fit")
+	}
+	if _, _, ok := stats.FitPowerLaw([]float64{2, 2}, []float64{1, 5}); ok {
+		t.Error("identical xs should not fit (vertical line)")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tb := stats.NewTable("Title here", "col", "value")
+	tb.AddRow("a", 1)
+	tb.AddRow("bcd", 2.5)
+	tb.AddRow("e", 3.0)
+	out := tb.Render()
+	for _, want := range []string{"Title here", "col", "value", "bcd", "2.50", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Whole floats render without decimals.
+	if !strings.Contains(out, "3") || strings.Contains(out, "3.00") {
+		t.Errorf("whole float should render as integer:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11},
+	}
+	for _, c := range cases {
+		if got := stats.Log2(c.n); got != c.want {
+			t.Errorf("Log2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}

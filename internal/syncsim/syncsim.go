@@ -1,0 +1,144 @@
+// Package syncsim executes synchronous procedural SA algorithms — AlgMIS and
+// AlgLE of Sec. 3 are presented in this style — under the synchronous
+// schedule (A_t = V for all t, so rounds and steps coincide).
+//
+// Sensing retains the stone age set-broadcast semantics: in each round a node
+// observes the *set* of distinct states present in its inclusive
+// neighborhood, with no multiplicities and no identities. A node's program is
+// a pure function of (own state, sensed state set, coin tosses); all nodes
+// run the same program (anonymity and size-uniformity are preserved — the
+// program never sees node IDs or n).
+package syncsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/graph"
+)
+
+// StepFunc is a node program: given the node's current state and the
+// deduplicated set of states sensed in its inclusive neighborhood, it returns
+// the next state. Randomness must come only from rng.
+//
+// The sensed slice is sorted by first occurrence over ascending neighbor ID
+// for determinism, but programs must treat it as an unordered set: the SA
+// model reveals neither order, nor multiplicity, nor identity.
+type StepFunc[S comparable] func(self S, sensed []S, rng *rand.Rand) S
+
+// Engine runs a synchronous execution of a node program on a graph.
+type Engine[S comparable] struct {
+	g      *graph.Graph
+	step   StepFunc[S]
+	states []S
+	next   []S
+	rng    *rand.Rand
+	round  int
+	buf    []S
+}
+
+// New returns an engine with the given initial configuration.
+func New[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64) (*Engine[S], error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(initial) != g.N() {
+		return nil, fmt.Errorf("syncsim: %d initial states for %d nodes", len(initial), g.N())
+	}
+	states := make([]S, len(initial))
+	copy(states, initial)
+	return &Engine[S]{
+		g:      g,
+		step:   step,
+		states: states,
+		next:   make([]S, len(initial)),
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// Graph returns the underlying graph.
+func (e *Engine[S]) Graph() *graph.Graph { return e.g }
+
+// Round executes one synchronous round: every node senses the current
+// configuration and all nodes update simultaneously.
+func (e *Engine[S]) Round() {
+	for v := 0; v < e.g.N(); v++ {
+		e.next[v] = e.step(e.states[v], e.sense(v), e.rng)
+	}
+	e.states, e.next = e.next, e.states
+	e.round++
+}
+
+// sense returns the deduplicated state set of N+(v).
+func (e *Engine[S]) sense(v int) []S {
+	e.buf = e.buf[:0]
+	e.buf = append(e.buf, e.states[v])
+	for _, u := range e.g.Neighbors(v) {
+		s := e.states[u]
+		dup := false
+		for _, t := range e.buf {
+			if t == s {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			e.buf = append(e.buf, s)
+		}
+	}
+	return e.buf
+}
+
+// Rounds returns the number of rounds executed.
+func (e *Engine[S]) Rounds() int { return e.round }
+
+// State returns the current state of node v.
+func (e *Engine[S]) State(v int) S { return e.states[v] }
+
+// States returns a copy of the current configuration.
+func (e *Engine[S]) States() []S {
+	out := make([]S, len(e.states))
+	copy(out, e.states)
+	return out
+}
+
+// SetState overwrites the state of node v (transient fault injection).
+func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }
+
+// RunUntil runs rounds until cond holds (checked between rounds) or the
+// budget is exhausted; it reports the rounds consumed and whether cond held.
+func (e *Engine[S]) RunUntil(cond func(e *Engine[S]) bool, maxRounds int) (int, bool) {
+	start := e.round
+	if cond(e) {
+		return 0, true
+	}
+	for e.round-start < maxRounds {
+		e.Round()
+		if cond(e) {
+			return e.round - start, true
+		}
+	}
+	return maxRounds, false
+}
+
+// Sensed is a helper for node programs: it reports whether any sensed state
+// satisfies pred.
+func Sensed[S comparable](sensed []S, pred func(S) bool) bool {
+	for _, s := range sensed {
+		if pred(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// MinSensed returns the minimum of f over the sensed states.
+func MinSensed[S comparable](sensed []S, f func(S) int) int {
+	best := f(sensed[0])
+	for _, s := range sensed[1:] {
+		if v := f(s); v < best {
+			best = v
+		}
+	}
+	return best
+}

@@ -1,0 +1,142 @@
+package syncsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/syncsim"
+)
+
+func orStep(self bool, sensed []bool, _ *rand.Rand) bool {
+	return syncsim.Sensed(sensed, func(b bool) bool { return b })
+}
+
+func TestNewValidation(t *testing.T) {
+	g, err := graph.Path(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syncsim.New(g, orStep, []bool{true}, 1); err == nil {
+		t.Error("wrong-length initial should fail")
+	}
+	disc, err := graph.New(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syncsim.New(disc, orStep, []bool{false, false}, 1); err == nil {
+		t.Error("disconnected graph should fail")
+	}
+}
+
+// TestSynchronousSemantics: OR-gossip spreads exactly one hop per round.
+func TestSynchronousSemantics(t *testing.T) {
+	g, err := graph.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := syncsim.New(g, orStep, []bool{true, false, false, false, false}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 1; round <= 4; round++ {
+		eng.Round()
+		for v := 0; v < 5; v++ {
+			want := v <= round
+			if got := eng.State(v); got != want {
+				t.Fatalf("round %d node %d: %v, want %v", round, v, got, want)
+			}
+		}
+	}
+	if eng.Rounds() != 4 {
+		t.Errorf("Rounds = %d", eng.Rounds())
+	}
+	if eng.Graph() != g {
+		t.Error("Graph accessor broken")
+	}
+}
+
+// dedupProbe records the sensed multiset size to verify set semantics: a
+// node with many same-state neighbors senses one state.
+func TestSetSemanticsDeduplication(t *testing.T) {
+	g, err := graph.Star(6) // center 0 with 5 identical leaves
+	if err != nil {
+		t.Fatal(err)
+	}
+	var observed int
+	step := func(self int, sensed []int, _ *rand.Rand) int {
+		if self == 99 { // center marker
+			observed = len(sensed)
+		}
+		return self
+	}
+	initial := []int{99, 7, 7, 7, 7, 7}
+	eng, err := syncsim.New(g, step, initial, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Round()
+	if observed != 2 { // {99, 7}: five leaves dedupe into one sensed state
+		t.Errorf("center sensed %d states, want 2 (set-broadcast semantics)", observed)
+	}
+}
+
+func TestRunUntilAndSetState(t *testing.T) {
+	g, err := graph.Cycle(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := syncsim.New(g, orStep, []bool{false, false, false, false}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := eng.RunUntil(func(e *syncsim.Engine[bool]) bool { return e.State(2) }, 5); ok {
+		t.Error("all-false OR should never turn true")
+	}
+	eng.SetState(0, true)
+	r, ok := eng.RunUntil(func(e *syncsim.Engine[bool]) bool { return e.State(2) }, 5)
+	if !ok || r != 2 {
+		t.Errorf("RunUntil = (%d, %v), want (2, true)", r, ok)
+	}
+	states := eng.States()
+	states[0] = false
+	if !eng.State(0) {
+		t.Error("States() must be a copy")
+	}
+}
+
+func TestMinSensed(t *testing.T) {
+	sensed := []int{5, 2, 9}
+	if got := syncsim.MinSensed(sensed, func(v int) int { return v }); got != 2 {
+		t.Errorf("MinSensed = %d, want 2", got)
+	}
+	if got := syncsim.MinSensed([]int{7}, func(v int) int { return -v }); got != -7 {
+		t.Errorf("MinSensed singleton = %d", got)
+	}
+}
+
+// TestDeterminism: identical seeds, identical runs (randomized step).
+func TestDeterminism(t *testing.T) {
+	g, err := graph.Complete(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coin := func(self int, _ []int, rng *rand.Rand) int { return rng.Intn(100) }
+	mk := func() *syncsim.Engine[int] {
+		e, err := syncsim.New(g, coin, make([]int, 5), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 20; i++ {
+		a.Round()
+		b.Round()
+	}
+	for v := 0; v < 5; v++ {
+		if a.State(v) != b.State(v) {
+			t.Fatal("identical seeds diverged")
+		}
+	}
+}
