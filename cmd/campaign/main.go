@@ -1,0 +1,141 @@
+// Command campaign runs scenario campaigns: declarative sweeps over graph
+// family × size × diameter bound × scheduler × fault model × algorithm,
+// executed in parallel with deterministic per-scenario seeds.
+//
+//	campaign -preset smoke                      # quick coverage sweep
+//	campaign -preset paper-table1 -seed 7       # the paper's evaluation shape
+//	campaign -preset fault-storm -workers 4     # transient-fault bombardment
+//	campaign -preset scale-sweep                # 10^3..10^5-node instances
+//	campaign -list                              # available presets
+//
+// Per-run records stream to stdout as JSONL (or to -out); an aggregate
+// min/median/p95/max table per parameter point prints to stderr (suppress
+// with -quiet). -csv writes the full record set as CSV to a file. With
+// -timing off (the default), output is byte-identical for equal seeds, so
+// campaign runs can serve as regression golden files.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"thinunison/internal/campaign"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		preset  = flag.String("preset", "smoke", "campaign preset to run (see -list)")
+		list    = flag.Bool("list", false, "list available presets and exit")
+		workers = flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
+		seed    = flag.Int64("seed", 1, "campaign seed; all per-scenario seeds derive from it")
+		out     = flag.String("out", "-", "JSONL output path (- = stdout)")
+		csvPath = flag.String("csv", "", "also write records as CSV to this path")
+		timing  = flag.Bool("timing", false, "include wall_ms in records (breaks byte-for-byte reproducibility)")
+		quiet   = flag.Bool("quiet", false, "suppress the aggregate table on stderr")
+		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(campaign.Presets(), "\n"))
+		return 0
+	}
+
+	scenarios, err := campaign.Preset(*preset, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // the package error already carries the campaign: prefix
+		return 2
+	}
+
+	var jsonl io.Writer = os.Stdout
+	closeOut := func() error { return nil }
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		closeOut = f.Close
+		jsonl = f
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	streamErr := error(nil)
+	runner := &campaign.Runner{
+		Workers: *workers,
+		Timing:  *timing,
+		OnRecord: func(rec campaign.Record) {
+			if streamErr == nil {
+				streamErr = campaign.AppendJSONL(jsonl, rec)
+			}
+		},
+	}
+	start := time.Now()
+	records, runErr := runner.Run(ctx, scenarios)
+	elapsed := time.Since(start)
+	// Close (and flush) the JSONL file before declaring success: a full disk
+	// surfacing at close time must not exit 0 with truncated records.
+	if err := closeOut(); err != nil && streamErr == nil {
+		streamErr = err
+	}
+	if streamErr != nil {
+		fmt.Fprintln(os.Stderr, "campaign: write:", streamErr)
+		return 1
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		if err := campaign.WriteCSV(f, records); err != nil {
+			f.Close()
+			fmt.Fprintln(os.Stderr, "campaign: csv:", err)
+			return 1
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "campaign: csv:", err)
+			return 1
+		}
+	}
+
+	failures := 0
+	for _, rec := range records {
+		if !rec.OK {
+			failures++
+		}
+	}
+	if !*quiet {
+		title := fmt.Sprintf("campaign %q: %d/%d runs ok in %v (seed %d)",
+			*preset, len(records)-failures, len(records), elapsed.Round(time.Millisecond), *seed)
+		fmt.Fprint(os.Stderr, campaign.Table(title, campaign.Aggregate(records)).Render())
+	}
+
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "campaign: aborted:", runErr)
+		return 1
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: %d run(s) failed\n", failures)
+		return 1
+	}
+	return 0
+}

@@ -16,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	paperbudget "thinunison/internal/budget"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
 	"thinunison/internal/sched"
@@ -92,7 +93,7 @@ func run() error {
 	fmt.Printf("initial: %s\n", eng.Config().String(au))
 
 	k := au.K()
-	budget := 60*k*k*k + 500
+	budget := paperbudget.AU(k)
 	lastRound := -1
 	for !au.GraphGood(g, eng.Config()) {
 		if err := eng.Step(); err != nil {

@@ -19,7 +19,11 @@
 //   - the failed reset-based AU attempt of Appendix A together with its
 //     Figure 2 live-lock, for comparison;
 //   - a full experiment harness regenerating every table and figure of the
-//     paper (see DESIGN.md and EXPERIMENTS.md).
+//     paper (see DESIGN.md and EXPERIMENTS.md);
+//   - a parallel scenario-campaign subsystem (internal/campaign, driven by
+//     cmd/campaign) sweeping graph family × size × diameter bound ×
+//     scheduler × fault model × algorithm on a worker pool with
+//     deterministic per-scenario seeds and JSONL/CSV output.
 //
 // The root package is a high-level facade; the implementation lives in the
 // internal packages (internal/core is AlgAU itself). Quick start:

@@ -1,0 +1,3 @@
+module thinunison
+
+go 1.24

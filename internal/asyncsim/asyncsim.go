@@ -110,6 +110,23 @@ func (e *Engine[S]) States() []S {
 // SetState overwrites node v's state (transient fault injection).
 func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }
 
+// InjectFaults corrupts count distinct random nodes (clamped to [0, n]) to
+// states drawn from random, returning the affected nodes. It models a burst
+// of transient faults mid-execution; self-stabilization guarantees recovery.
+func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int {
+	if count < 0 {
+		count = 0
+	}
+	if count > e.g.N() {
+		count = e.g.N()
+	}
+	hit := e.rng.Perm(e.g.N())[:count]
+	for _, v := range hit {
+		e.states[v] = random(e.rng)
+	}
+	return hit
+}
+
 // RunUntil runs until cond holds or maxRounds elapse; reports rounds
 // consumed and whether cond held.
 func (e *Engine[S]) RunUntil(cond func(e *Engine[S]) bool, maxRounds int) (int, bool) {

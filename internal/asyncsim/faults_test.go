@@ -1,0 +1,36 @@
+package asyncsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/asyncsim"
+	"thinunison/internal/graph"
+)
+
+// TestInjectFaultsClamps mirrors the syncsim clamp test on the asynchronous
+// engine: negative counts inject nothing and oversized counts clamp to n.
+func TestInjectFaultsClamps(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(self int, _ []int, _ *rand.Rand) int { return self }
+	eng, err := asyncsim.New(g, step, make([]int, 6), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := func(rng *rand.Rand) int { return 1 + rng.Intn(9) }
+
+	if hit := eng.InjectFaults(-1, random); len(hit) != 0 {
+		t.Errorf("negative count injected %d faults", len(hit))
+	}
+	if hit := eng.InjectFaults(1000, random); len(hit) != 6 {
+		t.Errorf("oversized count hit %d nodes, want 6", len(hit))
+	}
+	for _, s := range eng.States() {
+		if s == 0 {
+			t.Error("full-network burst left a node uncorrupted")
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"thinunison/internal/stats"
+)
+
+// GroupKey identifies one aggregation cell: a parameter point of the matrix
+// with trials (and seeds) collapsed. The fault model is part of the key, so
+// e.g. single-node bursts and full-network wipes aggregate separately.
+type GroupKey struct {
+	Family      string
+	N           int
+	D           int
+	Scheduler   string
+	Algorithm   string
+	FaultCount  int
+	FaultBursts int
+}
+
+func (k GroupKey) String() string {
+	return fmt.Sprintf("%s/n=%d/d=%d/%s/%s/%s", k.Family, k.N, k.D, k.Scheduler, k.Algorithm, k.faults())
+}
+
+// faults renders the fault model as "countxbursts" or "-" for none.
+func (k GroupKey) faults() string {
+	if k.FaultBursts == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%dx%d", k.FaultCount, k.FaultBursts)
+}
+
+// Group is the aggregate of all records sharing a key.
+type Group struct {
+	Key GroupKey
+	// Rounds, Steps and Recovery summarize the respective record fields
+	// (Recovery only over records that injected faults).
+	Rounds   stats.Summary
+	Steps    stats.Summary
+	Recovery stats.Summary
+	// Runs counts records in the group, Failures those with OK == false.
+	Runs     int
+	Failures int
+}
+
+// Aggregate groups records by (family, n, d, scheduler, algorithm) and
+// summarizes each group's round, step and recovery distributions. Groups are
+// returned in a stable lexicographic key order.
+func Aggregate(recs []Record) []Group {
+	byKey := make(map[GroupKey]*struct {
+		rounds, steps, recovery []int
+		runs, failures          int
+	})
+	for i := range recs {
+		r := &recs[i]
+		key := GroupKey{
+			Family: r.Family, N: r.N, D: r.D,
+			Scheduler: r.Scheduler, Algorithm: r.Algorithm,
+			FaultCount: r.FaultCount, FaultBursts: r.FaultBursts,
+		}
+		g := byKey[key]
+		if g == nil {
+			g = &struct {
+				rounds, steps, recovery []int
+				runs, failures          int
+			}{}
+			byKey[key] = g
+		}
+		g.runs++
+		if !r.OK {
+			g.failures++
+		}
+		g.rounds = append(g.rounds, r.Rounds)
+		g.steps = append(g.steps, r.Steps)
+		// Recovery stats only cover runs whose bursts were all injected and
+		// recovered; a run that failed before or during injection is counted
+		// in Failures instead of skewing the recovery distribution with a
+		// zero or budget-capped sample.
+		if r.FaultBursts > 0 && r.OK {
+			g.recovery = append(g.recovery, r.RecoveryRounds)
+		}
+	}
+
+	keys := make([]GroupKey, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Algorithm != b.Algorithm {
+			return a.Algorithm < b.Algorithm
+		}
+		if a.Family != b.Family {
+			return a.Family < b.Family
+		}
+		if a.N != b.N {
+			return a.N < b.N
+		}
+		if a.D != b.D {
+			return a.D < b.D
+		}
+		if a.Scheduler != b.Scheduler {
+			return a.Scheduler < b.Scheduler
+		}
+		if a.FaultCount != b.FaultCount {
+			return a.FaultCount < b.FaultCount
+		}
+		return a.FaultBursts < b.FaultBursts
+	})
+
+	out := make([]Group, 0, len(keys))
+	for _, k := range keys {
+		g := byKey[k]
+		out = append(out, Group{
+			Key:      k,
+			Rounds:   stats.SummarizeInts(g.rounds),
+			Steps:    stats.SummarizeInts(g.steps),
+			Recovery: stats.SummarizeInts(g.recovery),
+			Runs:     g.runs,
+			Failures: g.failures,
+		})
+	}
+	return out
+}
+
+// Table renders groups as the fixed-width summary table printed by the CLI
+// and the experiment harness.
+func Table(title string, groups []Group) *stats.Table {
+	tbl := stats.NewTable(title,
+		"algorithm", "family", "n", "d", "scheduler", "faults", "runs",
+		"rounds min", "median", "p95", "max", "recovery max", "failures")
+	for _, g := range groups {
+		tbl.AddRow(g.Key.Algorithm, g.Key.Family, g.Key.N, g.Key.D, g.Key.Scheduler,
+			g.Key.faults(), g.Runs, g.Rounds.Min, g.Rounds.Median, g.Rounds.P95,
+			g.Rounds.Max, g.Recovery.Max, g.Failures)
+	}
+	return tbl
+}

@@ -1,0 +1,311 @@
+// Package campaign is the scenario-campaign subsystem: it expands a
+// declarative parameter matrix (graph family × size × diameter bound ×
+// scheduler × fault model × algorithm) into concrete runs, executes them on a
+// worker pool with deterministic per-scenario seeds, and streams structured
+// per-run records (stabilization rounds, steps, wall time, fault-recovery
+// rounds, budget headroom) for JSONL/CSV export and statistical aggregation.
+//
+// It is the repository's single entry point for sweeps: the experiment
+// harness (internal/experiments) and the cmd/campaign CLI both run their
+// workloads through it. Every run is reproducible — the campaign seed and the
+// scenario's position determine all randomness, independent of the worker
+// count and goroutine interleaving.
+package campaign
+
+import (
+	"fmt"
+	"math/rand"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+)
+
+// Algorithm selects which self-stabilizing task a scenario runs.
+type Algorithm string
+
+// The supported algorithms. The plain MIS/LE variants are the synchronous
+// programs of Sec. 3 and only pair with the synchronous scheduler; the
+// synchronized variants run the same programs through the Corollary 1.2
+// synchronizer and pair with any scheduler.
+const (
+	AlgAU      Algorithm = "au"
+	AlgMIS     Algorithm = "mis"
+	AlgLE      Algorithm = "le"
+	AlgSyncMIS Algorithm = "sync-mis"
+	AlgSyncLE  Algorithm = "sync-le"
+)
+
+// Algorithms returns every supported algorithm, in a fixed order.
+func Algorithms() []Algorithm {
+	return []Algorithm{AlgAU, AlgMIS, AlgLE, AlgSyncMIS, AlgSyncLE}
+}
+
+// ParseAlgorithm resolves an algorithm name from a spec or CLI flag.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for _, a := range Algorithms() {
+		if string(a) == name {
+			return a, nil
+		}
+	}
+	return "", fmt.Errorf("campaign: unknown algorithm %q", name)
+}
+
+// SchedulerSpec is a declarative scheduler description. Scheduler values in
+// package sched are stateful and cannot be shared across concurrent runs, so
+// scenarios carry specs and every run builds its own instance.
+type SchedulerSpec struct {
+	// Kind is one of "synchronous", "round-robin", "random-subset",
+	// "laggard", "permuted".
+	Kind string `json:"kind"`
+	// P is the random-subset inclusion probability (default 0.35).
+	P float64 `json:"p,omitempty"`
+	// MaxGap is the random-subset starvation bound (default 16).
+	MaxGap int `json:"max_gap,omitempty"`
+	// Victim and Period parameterize the laggard (defaults 0 and 3).
+	Victim int `json:"victim,omitempty"`
+	Period int `json:"period,omitempty"`
+}
+
+// Named scheduler spec constructors.
+var (
+	Synchronous  = SchedulerSpec{Kind: "synchronous"}
+	RoundRobin   = SchedulerSpec{Kind: "round-robin"}
+	RandomSubset = SchedulerSpec{Kind: "random-subset", P: 0.35, MaxGap: 16}
+	Laggard      = SchedulerSpec{Kind: "laggard", Victim: 0, Period: 3}
+	Permuted     = SchedulerSpec{Kind: "permuted"}
+)
+
+// effective returns the spec with defaults applied — the parameters Build
+// actually uses, which Name must also report.
+func (s SchedulerSpec) effective() SchedulerSpec {
+	if s.Kind == "" {
+		s.Kind = "synchronous"
+	}
+	if s.Kind == "random-subset" {
+		if s.P <= 0 || s.P > 1 {
+			s.P = 0.35
+		}
+		if s.MaxGap <= 0 {
+			s.MaxGap = 16
+		}
+	}
+	if s.Kind == "laggard" && s.Period <= 0 {
+		s.Period = 3
+	}
+	return s
+}
+
+// Build instantiates a fresh scheduler for one run, seeding any internal
+// randomness from seed.
+func (s SchedulerSpec) Build(seed int64) (sched.Scheduler, error) {
+	s = s.effective()
+	switch s.Kind {
+	case "synchronous":
+		return sched.NewSynchronous(), nil
+	case "round-robin":
+		return sched.NewRoundRobin(), nil
+	case "random-subset":
+		return sched.NewRandomSubset(s.P, s.MaxGap, rand.New(rand.NewSource(seed))), nil
+	case "laggard":
+		return sched.NewLaggard(s.Victim, s.Period), nil
+	case "permuted":
+		return sched.NewPermuted(rand.New(rand.NewSource(seed))), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown scheduler kind %q", s.Kind)
+	}
+}
+
+// Name returns the stable identifier used in records and aggregation keys.
+// It encodes the effective parameters, so differently parameterized
+// schedulers of the same kind stay distinguishable in the output.
+func (s SchedulerSpec) Name() string {
+	s = s.effective()
+	switch s.Kind {
+	case "random-subset":
+		return fmt.Sprintf("random-subset(p=%g,gap=%d)", s.P, s.MaxGap)
+	case "laggard":
+		return fmt.Sprintf("laggard(victim=%d,period=%d)", s.Victim, s.Period)
+	default:
+		return s.Kind
+	}
+}
+
+// IsSynchronous reports whether the spec is the synchronous schedule, the
+// only one the plain (non-synchronized) MIS/LE programs admit.
+func (s SchedulerSpec) IsSynchronous() bool {
+	return s.Kind == "" || s.Kind == "synchronous"
+}
+
+// FaultSpec describes transient-fault injection: after the run first
+// stabilizes, Bursts bursts of Count random node corruptions are injected,
+// measuring the recovery rounds of each.
+type FaultSpec struct {
+	// Count is the number of nodes corrupted per burst (clamped to [0, n];
+	// 0 disables injection).
+	Count int `json:"count,omitempty"`
+	// Bursts is the number of bursts (default 1 when Count > 0).
+	Bursts int `json:"bursts,omitempty"`
+}
+
+// Scenario is one concrete run: a point of the expanded matrix together with
+// its deterministic seed.
+type Scenario struct {
+	// Index is the scenario's position in the campaign; records are emitted
+	// in Index order regardless of which worker finishes first.
+	Index int
+	// Family, N and D select the graph: an n-node member of the family,
+	// with D the diameter parameter for FamilyBoundedD construction. D = 0
+	// means "the graph's own diameter" for the algorithm parameter.
+	Family graph.Family
+	N      int
+	D      int
+	// Scheduler, Algorithm and Faults select the workload.
+	Scheduler SchedulerSpec
+	Algorithm Algorithm
+	Faults    FaultSpec
+	// Trial distinguishes repeated runs of the same parameter point.
+	Trial int
+	// Seed drives all randomness of the run (graph construction, initial
+	// configuration, coin tosses, scheduler); it is derived from the
+	// campaign seed and Index, so equal campaigns replay byte-identically.
+	Seed int64
+}
+
+// Matrix is a declarative scenario matrix. Expand crosses all dimensions and
+// drops invalid combinations.
+type Matrix struct {
+	// Families of graphs to sweep (default: star).
+	Families []graph.Family
+	// Sizes are node counts (default: 16).
+	Sizes []int
+	// DiameterBounds parameterize FamilyBoundedD construction; other
+	// families use their own diameter and ignore this dimension (they are
+	// expanded once, not once per bound). Default: {3}.
+	DiameterBounds []int
+	// Schedulers to sweep (default: synchronous).
+	Schedulers []SchedulerSpec
+	// Algorithms to sweep (default: AlgAU).
+	Algorithms []Algorithm
+	// Faults models to sweep (default: no injection).
+	Faults []FaultSpec
+	// Trials per parameter point (default 1).
+	Trials int
+}
+
+func (m Matrix) withDefaults() Matrix {
+	if len(m.Families) == 0 {
+		m.Families = []graph.Family{graph.FamilyStar}
+	}
+	if len(m.Sizes) == 0 {
+		m.Sizes = []int{16}
+	}
+	if len(m.DiameterBounds) == 0 {
+		m.DiameterBounds = []int{3}
+	}
+	if len(m.Schedulers) == 0 {
+		m.Schedulers = []SchedulerSpec{Synchronous}
+	}
+	if len(m.Algorithms) == 0 {
+		m.Algorithms = []Algorithm{AlgAU}
+	}
+	if len(m.Faults) == 0 {
+		m.Faults = []FaultSpec{{}}
+	}
+	if m.Trials <= 0 {
+		m.Trials = 1
+	}
+	return m
+}
+
+// valid reports whether a combination is executable: cycles need n >= 3,
+// bounded-diameter construction needs 1 <= d < n, and the plain synchronous
+// MIS/LE programs only run under the synchronous schedule.
+func valid(f graph.Family, n, d int, s SchedulerSpec, a Algorithm) bool {
+	if n < 1 {
+		return false
+	}
+	if f == graph.FamilyCycle && n < 3 {
+		return false
+	}
+	if f == graph.FamilyBoundedD && (d < 1 || d >= n) {
+		return false
+	}
+	if (a == AlgMIS || a == AlgLE) && !s.IsSynchronous() {
+		return false
+	}
+	return true
+}
+
+// Expand crosses the matrix dimensions into concrete scenarios, assigning
+// indices and per-scenario seeds derived from the campaign seed.
+func (m Matrix) Expand(seed int64) []Scenario {
+	return Concat(seed, m)
+}
+
+// Concat expands several matrices into one campaign with globally unique
+// indices and seeds (presets that sweep heterogeneous axes use this).
+func Concat(seed int64, ms ...Matrix) []Scenario {
+	var out []Scenario
+	for _, m := range ms {
+		m = m.withDefaults()
+		for _, f := range m.Families {
+			for _, n := range m.Sizes {
+				bounds := m.DiameterBounds
+				if f != graph.FamilyBoundedD {
+					// Only bounded-diameter construction consumes the bound;
+					// expanding other families once per bound would duplicate
+					// identical scenarios.
+					bounds = []int{0}
+				}
+				for _, d := range bounds {
+					for _, s := range m.Schedulers {
+						for _, a := range m.Algorithms {
+							for _, fl := range m.Faults {
+								for trial := 0; trial < m.Trials; trial++ {
+									if !valid(f, n, d, s, a) {
+										continue
+									}
+									out = append(out, Scenario{
+										Index:     len(out),
+										Family:    f,
+										N:         n,
+										D:         d,
+										Scheduler: s,
+										Algorithm: a,
+										Faults:    fl,
+										Trial:     trial,
+									})
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return Finalize(seed, out)
+}
+
+// Finalize assigns indices and derived seeds to hand-crafted scenario lists
+// (the experiment harness builds some sweeps directly rather than through a
+// Matrix). It mutates and returns scs.
+func Finalize(seed int64, scs []Scenario) []Scenario {
+	for i := range scs {
+		scs[i].Index = i
+		scs[i].Seed = deriveSeed(seed, i)
+	}
+	return scs
+}
+
+// deriveSeed maps (campaign seed, scenario index) to a well-mixed
+// non-negative per-scenario seed with a splitmix64 finalizer, so scenario
+// seeds are decorrelated regardless of how the campaign seed was chosen.
+func deriveSeed(seed int64, index int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(index+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z &^ (1 << 63))
+}

@@ -1,0 +1,359 @@
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"thinunison/internal/asyncsim"
+	"thinunison/internal/budget"
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/le"
+	"thinunison/internal/mis"
+	"thinunison/internal/restart"
+	"thinunison/internal/sim"
+	"thinunison/internal/stats"
+	"thinunison/internal/synchronizer"
+	"thinunison/internal/syncsim"
+)
+
+// errCancelled marks runs aborted by context cancellation.
+var errCancelled = errors.New("campaign: run cancelled")
+
+// exactDiameterLimit is the largest node count for which Execute falls back
+// to the exact (quadratic) diameter computation when the family's diameter is
+// not analytically known; larger graphs use the O(n+m) double-sweep bounds.
+const exactDiameterLimit = 512
+
+// Execute runs one scenario to completion and returns its record. It is safe
+// to call concurrently for distinct scenarios: every run builds its own
+// graph, engine, scheduler and rng from the scenario seed.
+func Execute(ctx context.Context, sc Scenario) Record {
+	start := time.Now()
+	rec := Record{
+		Scenario:    sc.Index,
+		Family:      string(sc.Family),
+		Scheduler:   sc.Scheduler.Name(),
+		Algorithm:   string(sc.Algorithm),
+		Trial:       sc.Trial,
+		Seed:        sc.Seed,
+		FaultCount:  sc.Faults.Count,
+		FaultBursts: faultBursts(sc.Faults),
+		Diameter:    -1,
+	}
+	rng := rand.New(rand.NewSource(sc.Seed))
+	g, err := graph.FromFamily(sc.Family, sc.N, sc.D, rng)
+	if err != nil {
+		rec.fail(fmt.Errorf("build graph: %w", err))
+		return rec
+	}
+	rec.N, rec.M = g.N(), g.M()
+
+	d, diam := diameterParam(sc, g)
+	rec.D, rec.Diameter = d, diam
+
+	switch sc.Algorithm {
+	case AlgAU:
+		runAU(ctx, sc, g, d, rng, &rec)
+	case AlgMIS:
+		runSyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec))
+	case AlgLE:
+		runSyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec))
+	case AlgSyncMIS:
+		runAsyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec))
+	case AlgSyncLE:
+		runAsyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec))
+	default:
+		rec.fail(fmt.Errorf("campaign: unknown algorithm %q", sc.Algorithm))
+	}
+	rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if rec.Budget > 0 {
+		rec.Headroom = float64(rec.Budget-rec.Rounds) / float64(rec.Budget)
+	}
+	return rec
+}
+
+// diameterParam resolves the algorithm's diameter parameter D (which must
+// dominate the graph's diameter) and the recorded diameter (-1 when only
+// bounds are known). Analytically known family diameters keep 10^5-node
+// scenarios free of the quadratic all-pairs computation.
+func diameterParam(sc Scenario, g *graph.Graph) (d, diam int) {
+	if known, ok := graph.KnownDiameter(sc.Family, g.N(), sc.D); ok {
+		diam = known
+	} else if g.N() <= exactDiameterLimit {
+		diam = g.Diameter()
+	} else {
+		_, upper := g.DiameterBounds()
+		d = upper
+		diam = -1
+	}
+	if diam > d {
+		d = diam
+	}
+	if sc.D > d {
+		d = sc.D
+	}
+	if d < 1 {
+		d = 1
+	}
+	return d, diam
+}
+
+func faultBursts(f FaultSpec) int {
+	if f.Count <= 0 {
+		return 0
+	}
+	if f.Bursts <= 0 {
+		return 1
+	}
+	return f.Bursts
+}
+
+// pollingCond wraps a stabilization predicate with a periodic context check,
+// so long runs abort promptly on cancellation. The flag records whether the
+// wrapped predicate fired because of cancellation rather than stabilization.
+func pollingCond(ctx context.Context, cancelled *bool, inner func() bool) func() bool {
+	calls := 0
+	return func() bool {
+		calls++
+		if calls&127 == 0 && ctx.Err() != nil {
+			*cancelled = true
+			return true
+		}
+		return inner()
+	}
+}
+
+// asyncTaskBudget adds the synchronizer's stabilization allowance to the
+// synchronous task budget.
+func asyncTaskBudget(d, n int) int {
+	return stats.SatAdd(budget.Task(d, n), budget.Synchronizer(d))
+}
+
+// runAU drives AlgAU (the pulse clock itself) under the scenario's scheduler,
+// then injects and recovers from fault bursts.
+func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record) {
+	au, err := core.NewAU(d)
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	scheduler, err := sc.Scheduler.Build(rng.Int63())
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	eng, err := sim.New(g, au, sim.Options{Scheduler: scheduler, Seed: rng.Int63()})
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	roundBudget := budget.AU(au.K())
+	rec.Budget = roundBudget
+
+	cancelled := false
+	good := pollingCond(ctx, &cancelled, func() bool {
+		return au.GraphGood(g, eng.Config())
+	})
+	rounds, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
+	rec.Rounds, rec.Steps = rounds, eng.StepCount()
+	if cancelled {
+		rec.fail(errCancelled)
+		return
+	}
+	if err != nil {
+		rec.fail(fmt.Errorf("AU did not stabilize within %d rounds", roundBudget))
+		return
+	}
+	rec.OK = true
+
+	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
+		eng.InjectFaults(sc.Faults.Count)
+		recovery, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
+		rec.Steps = eng.StepCount()
+		if recovery > rec.RecoveryRounds {
+			rec.RecoveryRounds = recovery
+		}
+		if cancelled {
+			rec.fail(errCancelled)
+			return
+		}
+		if err != nil {
+			rec.fail(fmt.Errorf("AU did not recover from burst %d within %d rounds", burst, roundBudget))
+			return
+		}
+	}
+}
+
+// task bundles the algorithm-specific pieces of a synchronous stone age
+// program (AlgMIS/AlgLE) so the synchronous and synchronized drivers can be
+// written once.
+type task[S comparable] struct {
+	step   syncsim.StepFunc[restart.State[S]]
+	random func(*rand.Rand) restart.State[S]
+	stable func(g *graph.Graph, states []restart.State[S]) bool
+}
+
+func misTask(d int, rec *Record) task[mis.State] {
+	alg, err := mis.New(mis.Params{D: d})
+	if err != nil {
+		rec.fail(err)
+		return task[mis.State]{}
+	}
+	return task[mis.State]{
+		step:   alg.Step,
+		random: alg.RandomState,
+		stable: mis.Stable,
+	}
+}
+
+func leTask(d int, rec *Record) task[le.State] {
+	alg, err := le.New(le.Params{D: d})
+	if err != nil {
+		rec.fail(err)
+		return task[le.State]{}
+	}
+	return task[le.State]{
+		step:   alg.Step,
+		random: alg.RandomState,
+		stable: func(_ *graph.Graph, states []restart.State[le.State]) bool {
+			return le.Stable(states)
+		},
+	}
+}
+
+// runSyncTask drives a synchronous program (plain AlgMIS/AlgLE) under the
+// synchronous schedule.
+func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S]) {
+	if t.step == nil {
+		return // constructor already failed the record
+	}
+	if !sc.Scheduler.IsSynchronous() {
+		rec.fail(fmt.Errorf("campaign: algorithm %q requires the synchronous scheduler (use the sync-* variant)", sc.Algorithm))
+		return
+	}
+	initial := make([]restart.State[S], g.N())
+	for v := range initial {
+		initial[v] = t.random(rng)
+	}
+	eng, err := syncsim.New(g, t.step, initial, rng.Int63())
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	roundBudget := budget.Task(d, g.N())
+	rec.Budget = roundBudget
+
+	cancelled := false
+	stable := pollingCond(ctx, &cancelled, func() bool {
+		return t.stable(g, eng.States())
+	})
+	rounds, ok := eng.RunUntil(func(*syncsim.Engine[restart.State[S]]) bool { return stable() }, roundBudget)
+	rec.Rounds, rec.Steps = rounds, eng.Steps()
+	if cancelled {
+		rec.fail(errCancelled)
+		return
+	}
+	if !ok {
+		rec.fail(fmt.Errorf("%s did not stabilize within %d rounds", sc.Algorithm, roundBudget))
+		return
+	}
+	rec.OK = true
+
+	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
+		eng.InjectFaults(sc.Faults.Count, t.random)
+		recovery, ok := eng.RunUntil(func(*syncsim.Engine[restart.State[S]]) bool { return stable() }, roundBudget)
+		rec.Steps = eng.Steps()
+		if recovery > rec.RecoveryRounds {
+			rec.RecoveryRounds = recovery
+		}
+		if cancelled {
+			rec.fail(errCancelled)
+			return
+		}
+		if !ok {
+			rec.fail(fmt.Errorf("%s did not recover from burst %d within %d rounds", sc.Algorithm, burst, roundBudget))
+			return
+		}
+	}
+}
+
+// runAsyncTask drives a synchronous program through the Corollary 1.2
+// synchronizer under the scenario's (arbitrary) scheduler.
+func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S]) {
+	if t.step == nil {
+		return // constructor already failed the record
+	}
+	sy, err := synchronizer.New[restart.State[S]](d, t.step)
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	scheduler, err := sc.Scheduler.Build(rng.Int63())
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	randomState := func(rng *rand.Rand) synchronizer.State[restart.State[S]] {
+		return synchronizer.State[restart.State[S]]{
+			Cur:  t.random(rng),
+			Prev: t.random(rng),
+			Turn: rng.Intn(sy.AU().NumStates()),
+		}
+	}
+	initial := make([]synchronizer.State[restart.State[S]], g.N())
+	for v := range initial {
+		initial[v] = randomState(rng)
+	}
+	eng, err := asyncsim.New(g, sy.Step, initial, scheduler, rng.Int63())
+	if err != nil {
+		rec.fail(err)
+		return
+	}
+	roundBudget := asyncTaskBudget(d, g.N())
+	rec.Budget = roundBudget
+
+	piStates := func() []restart.State[S] {
+		states := eng.States()
+		pi := make([]restart.State[S], len(states))
+		for v, st := range states {
+			pi[v] = st.Cur
+		}
+		return pi
+	}
+	cancelled := false
+	stable := pollingCond(ctx, &cancelled, func() bool {
+		return t.stable(g, piStates())
+	})
+	rounds, ok := eng.RunUntil(func(*asyncsim.Engine[synchronizer.State[restart.State[S]]]) bool { return stable() }, roundBudget)
+	rec.Rounds, rec.Steps = rounds, eng.Steps()
+	if cancelled {
+		rec.fail(errCancelled)
+		return
+	}
+	if !ok {
+		rec.fail(fmt.Errorf("%s did not stabilize within %d rounds", sc.Algorithm, roundBudget))
+		return
+	}
+	rec.OK = true
+
+	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
+		eng.InjectFaults(sc.Faults.Count, randomState)
+		recovery, ok := eng.RunUntil(func(*asyncsim.Engine[synchronizer.State[restart.State[S]]]) bool { return stable() }, roundBudget)
+		rec.Steps = eng.Steps()
+		if recovery > rec.RecoveryRounds {
+			rec.RecoveryRounds = recovery
+		}
+		if cancelled {
+			rec.fail(errCancelled)
+			return
+		}
+		if !ok {
+			rec.fail(fmt.Errorf("%s did not recover from burst %d within %d rounds", sc.Algorithm, burst, roundBudget))
+			return
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"thinunison/internal/graph"
+)
+
+// presets maps preset names to their scenario builders. Each preset is a
+// curated campaign: smoke for CI-speed coverage, paper-table1 for the
+// theorem-shaped sweeps of the paper's evaluation, fault-storm for transient
+// fault bombardment, scale-sweep for 10^3–10^5-node instances.
+var presets = map[string]func(seed int64) []Scenario{
+	"smoke":        presetSmoke,
+	"paper-table1": presetPaperTable1,
+	"fault-storm":  presetFaultStorm,
+	"scale-sweep":  presetScaleSweep,
+}
+
+// Presets returns the available preset names, sorted.
+func Presets() []string {
+	names := make([]string, 0, len(presets))
+	for name := range presets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Preset expands a named preset into scenarios seeded from seed.
+func Preset(name string, seed int64) ([]Scenario, error) {
+	build, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown preset %q (known: %v)", name, Presets())
+	}
+	return build(seed), nil
+}
+
+// presetSmoke covers every execution path in seconds: five graph families,
+// four schedulers, the pulse clock plus both synchronous tasks and one
+// synchronized task, with and without a small fault burst.
+func presetSmoke(seed int64) []Scenario {
+	base := Matrix{
+		Families: []graph.Family{
+			graph.FamilyStar, graph.FamilyCycle, graph.FamilyComplete,
+			graph.FamilyGrid, graph.FamilyTree,
+		},
+		Sizes:      []int{8, 12},
+		Schedulers: []SchedulerSpec{Synchronous, RoundRobin, RandomSubset, Laggard},
+		Algorithms: []Algorithm{AlgAU, AlgMIS, AlgLE},
+		Faults:     []FaultSpec{{}, {Count: 2}},
+		Trials:     1,
+	}
+	synced := Matrix{
+		Families:   []graph.Family{graph.FamilyStar, graph.FamilyComplete},
+		Sizes:      []int{8},
+		Schedulers: []SchedulerSpec{RoundRobin, RandomSubset},
+		Algorithms: []Algorithm{AlgSyncMIS, AlgSyncLE},
+		Trials:     1,
+	}
+	return Concat(seed, base, synced)
+}
+
+// presetPaperTable1 reproduces the shape of the paper's evaluation: the
+// Theorem 1.1 diameter sweep of AlgAU across schedulers, and the Theorem
+// 1.3/1.4 size sweeps of AlgLE/AlgMIS on the bounded-diameter family.
+func presetPaperTable1(seed int64) []Scenario {
+	au := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{24},
+		DiameterBounds: []int{1, 2, 3, 4, 5, 6},
+		Schedulers:     []SchedulerSpec{Synchronous, RoundRobin, RandomSubset, Laggard},
+		Algorithms:     []Algorithm{AlgAU},
+		Trials:         3,
+	}
+	tasks := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{8, 16, 32, 64},
+		DiameterBounds: []int{3},
+		Schedulers:     []SchedulerSpec{Synchronous},
+		Algorithms:     []Algorithm{AlgLE, AlgMIS},
+		Trials:         5,
+	}
+	return Concat(seed, au, tasks)
+}
+
+// presetFaultStorm bombards stabilized instances with repeated transient
+// fault bursts, from single-node corruption to full-network wipes.
+func presetFaultStorm(seed int64) []Scenario {
+	return Concat(seed, Matrix{
+		Families: []graph.Family{
+			graph.FamilyStar, graph.FamilyGrid, graph.FamilyBoundedD,
+		},
+		Sizes:          []int{16, 32},
+		DiameterBounds: []int{3},
+		Schedulers:     []SchedulerSpec{Synchronous, RandomSubset, Laggard},
+		Algorithms:     []Algorithm{AlgAU},
+		Faults: []FaultSpec{
+			{Count: 1, Bursts: 3},
+			{Count: 8, Bursts: 3},
+			{Count: 1 << 20, Bursts: 2}, // clamped to n: full-network wipe
+		},
+		Trials: 2,
+	})
+}
+
+// presetScaleSweep pushes AlgAU to 10^5-node low-diameter instances — the
+// "almost complete but for some broken links" regime the paper motivates —
+// where the analytically known family diameters keep setup linear.
+func presetScaleSweep(seed int64) []Scenario {
+	stars := Matrix{
+		Families:   []graph.Family{graph.FamilyStar},
+		Sizes:      []int{1_000, 10_000, 100_000},
+		Algorithms: []Algorithm{AlgAU},
+		Trials:     1,
+	}
+	bounded := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{1_000, 10_000, 100_000},
+		DiameterBounds: []int{4},
+		Algorithms:     []Algorithm{AlgAU},
+		Trials:         1,
+	}
+	trees := Matrix{
+		Families:   []graph.Family{graph.FamilyTree},
+		Sizes:      []int{1_000, 10_000},
+		Algorithms: []Algorithm{AlgAU},
+		Trials:     1,
+	}
+	return Concat(seed, stars, bounded, trees)
+}

@@ -1,0 +1,111 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record is the structured outcome of one scenario run. Every field except
+// WallMS is a deterministic function of the scenario (and hence of the
+// campaign seed); wall time is measured only when the runner's Timing option
+// is on, so seed-equal campaigns can emit byte-identical JSONL.
+type Record struct {
+	// Identity of the run.
+	Scenario  int    `json:"scenario"`
+	Family    string `json:"family"`
+	N         int    `json:"n"`
+	M         int    `json:"m"`
+	D         int    `json:"d"`
+	Diameter  int    `json:"diameter"`
+	Scheduler string `json:"scheduler"`
+	Algorithm string `json:"algorithm"`
+	Trial     int    `json:"trial"`
+	Seed      int64  `json:"seed"`
+
+	// Outcome. Rounds is the stabilization time in rounds (the round
+	// operator ϱ); Steps the raw scheduler steps consumed in total.
+	Rounds int `json:"rounds"`
+	Steps  int `json:"steps"`
+	// Budget is the theorem-derived round budget the run was given and
+	// Headroom the unused fraction of it, (Budget-Rounds)/Budget.
+	Budget   int     `json:"budget"`
+	Headroom float64 `json:"headroom"`
+
+	// Fault-injection outcome (absent when the scenario injects no faults).
+	FaultCount     int `json:"fault_count,omitempty"`
+	FaultBursts    int `json:"fault_bursts,omitempty"`
+	RecoveryRounds int `json:"recovery_rounds,omitempty"`
+
+	// WallMS is the run's wall-clock duration in milliseconds (0 when the
+	// runner's Timing option is off).
+	WallMS float64 `json:"wall_ms,omitempty"`
+
+	// OK reports whether the run stabilized (and recovered from every fault
+	// burst) within budget; Err carries the failure otherwise.
+	OK  bool   `json:"ok"`
+	Err string `json:"error,omitempty"`
+}
+
+func (r *Record) fail(err error) {
+	r.OK = false
+	if r.Err == "" {
+		r.Err = err.Error()
+	}
+}
+
+// WriteJSONL writes one JSON object per line. Field order is fixed by the
+// struct, so equal record slices produce byte-identical output.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("campaign: encode record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// AppendJSONL encodes a single record as one JSONL line (streaming form).
+func AppendJSONL(w io.Writer, rec Record) error {
+	return json.NewEncoder(w).Encode(&rec)
+}
+
+// csvHeader is the fixed CSV column order.
+var csvHeader = []string{
+	"scenario", "family", "n", "m", "d", "diameter", "scheduler", "algorithm",
+	"trial", "seed", "rounds", "steps", "budget", "headroom",
+	"fault_count", "fault_bursts", "recovery_rounds", "wall_ms", "ok", "error",
+}
+
+// WriteCSV writes the records as CSV with a header row.
+func WriteCSV(w io.Writer, recs []Record) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for i := range recs {
+		r := &recs[i]
+		row := []string{
+			strconv.Itoa(r.Scenario), r.Family, strconv.Itoa(r.N),
+			strconv.Itoa(r.M), strconv.Itoa(r.D), strconv.Itoa(r.Diameter),
+			r.Scheduler, r.Algorithm, strconv.Itoa(r.Trial),
+			strconv.FormatInt(r.Seed, 10), strconv.Itoa(r.Rounds),
+			strconv.Itoa(r.Steps), strconv.Itoa(r.Budget),
+			strconv.FormatFloat(r.Headroom, 'g', -1, 64),
+			strconv.Itoa(r.FaultCount), strconv.Itoa(r.FaultBursts),
+			strconv.Itoa(r.RecoveryRounds),
+			strconv.FormatFloat(r.WallMS, 'g', -1, 64),
+			strconv.FormatBool(r.OK), r.Err,
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,125 @@
+package campaign
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Runner executes scenarios on a pool of worker goroutines. The zero value is
+// ready to use: it runs runtime.NumCPU() workers and measures wall time.
+//
+// Records are streamed to OnRecord and returned in scenario-index order no
+// matter which worker finishes first, and every record is a deterministic
+// function of its scenario, so equal campaign seeds produce byte-identical
+// output at any worker count.
+type Runner struct {
+	// Workers is the pool size; <= 0 means runtime.NumCPU().
+	Workers int
+	// Timing enables wall-clock measurement in records. Leave it off for
+	// byte-identical reproducible output (determinism tests, golden files).
+	Timing bool
+	// OnRecord, when set, receives each record in scenario-index order as
+	// soon as it and all its predecessors are done (streaming JSONL export).
+	// It is called from a single goroutine.
+	OnRecord func(Record)
+}
+
+// Run executes all scenarios and returns their records sorted by scenario
+// index. On context cancellation it stops dispatching new scenarios, asks
+// in-flight ones to abort, and returns the records completed so far together
+// with ctx.Err().
+func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Record, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(scenarios) && len(scenarios) > 0 {
+		workers = len(scenarios)
+	}
+
+	jobs := make(chan Scenario)
+	results := make(chan Record)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for sc := range jobs {
+				rec := Execute(ctx, sc)
+				if !r.Timing {
+					rec.WallMS = 0
+				}
+				results <- rec
+			}
+		}()
+	}
+
+	go func() {
+		defer close(jobs)
+		for _, sc := range scenarios {
+			// Check cancellation before offering the job: when both channel
+			// operations are ready, select picks randomly, which would let a
+			// cancelled campaign keep dispatching.
+			if ctx.Err() != nil {
+				return
+			}
+			select {
+			case jobs <- sc:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder completions into scenario-index order for streaming: a record
+	// is emitted once all lower-indexed scenarios have been emitted.
+	pending := make(map[int]Record)
+	next := 0
+	if len(scenarios) > 0 {
+		next = scenarios[0].Index
+	}
+	out := make([]Record, 0, len(scenarios))
+	for rec := range results {
+		pending[rec.Scenario] = rec
+		for {
+			ready, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			out = append(out, ready)
+			if r.OnRecord != nil {
+				r.OnRecord(ready)
+			}
+			next++
+		}
+	}
+	// On cancellation some scenarios never ran; flush whatever completed
+	// beyond the contiguous prefix, still in index order.
+	if len(pending) > 0 {
+		rest := make([]Record, 0, len(pending))
+		for _, rec := range pending {
+			rest = append(rest, rec)
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].Scenario < rest[j].Scenario })
+		for _, rec := range rest {
+			out = append(out, rec)
+			if r.OnRecord != nil {
+				r.OnRecord(rec)
+			}
+		}
+	}
+	return out, ctx.Err()
+}
+
+// RunMatrix expands the matrix with the given campaign seed and runs it.
+func (r *Runner) RunMatrix(ctx context.Context, seed int64, m Matrix) ([]Record, error) {
+	return r.Run(ctx, m.Expand(seed))
+}

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
+	"thinunison/internal/budget"
 	"thinunison/internal/core"
+	"thinunison/internal/graph"
 	"thinunison/internal/sim"
 	"thinunison/internal/stats"
 )
@@ -48,11 +50,19 @@ func E9(cfg Config) (Result, error) {
 			return res, err
 		}
 		k := au.K()
-		budget := 60*k*k*k + 500
+		roundBudget := budget.AU(k)
 		runs, okRuns := 0, 0
 		var rounds []int
-		for _, g := range sweepGraphs(d, 14, rng) {
-			for _, s := range sweepSchedulers(rng) {
+		for _, gs := range e1Graphs(d, 14) {
+			g, err := graph.FromFamily(gs.family, gs.n, d, rng)
+			if err != nil {
+				return res, err
+			}
+			for _, spec := range e1Schedulers() {
+				s, err := spec.Build(rng.Int63())
+				if err != nil {
+					return res, err
+				}
 				for trial := 0; trial < cfg.Trials; trial++ {
 					eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: rng.Int63()})
 					if err != nil {
@@ -61,7 +71,7 @@ func E9(cfg Config) (Result, error) {
 					runs++
 					r, err := eng.RunUntil(func(e *sim.Engine) bool {
 						return au.GraphGood(g, e.Config())
-					}, budget)
+					}, roundBudget)
 					if err == nil {
 						okRuns++
 						rounds = append(rounds, r)

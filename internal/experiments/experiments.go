@@ -7,11 +7,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"thinunison/internal/baseline"
 	"thinunison/internal/bio"
+	"thinunison/internal/budget"
+	"thinunison/internal/campaign"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
 	"thinunison/internal/naive"
@@ -228,46 +231,53 @@ func F2(cfg Config) (Result, error) {
 
 // E1 validates Theorem 1.1: AU state space O(D) and stabilization O(D³)
 // rounds, sweeping D over graph families, schedulers and adversarial
-// initializations.
+// initializations. The sweep is expressed as campaign scenarios and executed
+// on the parallel campaign runner.
 func E1(cfg Config) (Result, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	res := Result{ID: "E1 (Thm 1.1: AlgAU states O(D), stabilization O(D^3))", OK: true}
 	tbl := stats.NewTable("AlgAU stabilization sweep (rounds to good graph)",
 		"D", "k", "states", "instances", "median", "p95", "max", "max/D^3")
 
+	var scenarios []campaign.Scenario
+	for d := 1; d <= cfg.MaxD; d++ {
+		for _, gs := range e1Graphs(d, cfg.MaxN/3+8) {
+			for _, s := range e1Schedulers() {
+				for trial := 0; trial < cfg.Trials; trial++ {
+					scenarios = append(scenarios, campaign.Scenario{
+						Family:    gs.family,
+						N:         gs.n,
+						D:         d,
+						Scheduler: s,
+						Algorithm: campaign.AlgAU,
+						Trial:     trial,
+					})
+				}
+			}
+		}
+	}
+	records, err := (&campaign.Runner{}).Run(context.Background(),
+		campaign.Finalize(cfg.Seed+1, scenarios))
+	if err != nil {
+		return res, err
+	}
+
+	roundsByD := make(map[int][]int)
+	for _, rec := range records {
+		if !rec.OK {
+			res.OK = false
+		}
+		roundsByD[rec.D] = append(roundsByD[rec.D], rec.Rounds)
+	}
 	var ds, maxs []float64
 	for d := 1; d <= cfg.MaxD; d++ {
 		au, err := core.NewAU(d)
 		if err != nil {
 			return res, err
 		}
-		k := au.K()
-		budget := 60*k*k*k + 500
-		var rounds []int
-
-		graphs := sweepGraphs(d, cfg.MaxN/3+8, rng)
-		for _, g := range graphs {
-			for _, s := range sweepSchedulers(rng) {
-				for trial := 0; trial < cfg.Trials; trial++ {
-					eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: rng.Int63()})
-					if err != nil {
-						return res, err
-					}
-					r, err := eng.RunUntil(func(e *sim.Engine) bool {
-						return au.GraphGood(g, e.Config())
-					}, budget)
-					if err != nil {
-						res.OK = false
-						r = budget
-					}
-					rounds = append(rounds, r)
-				}
-			}
-		}
-		sum := stats.SummarizeInts(rounds)
+		sum := stats.SummarizeInts(roundsByD[d])
 		d3 := float64(d * d * d)
-		tbl.AddRow(d, k, au.NumStates(), sum.N, sum.Median, sum.P95, sum.Max, sum.Max/d3)
+		tbl.AddRow(d, au.K(), au.NumStates(), sum.N, sum.Median, sum.P95, sum.Max, sum.Max/d3)
 		ds = append(ds, float64(d))
 		maxs = append(maxs, sum.Max)
 	}
@@ -290,12 +300,12 @@ func E1(cfg Config) (Result, error) {
 
 // E2 validates Theorem 1.3: LE stabilizes in O(D log n) synchronous rounds.
 func E2(cfg Config) (Result, error) {
-	return leMisSweep(cfg, "E2 (Thm 1.3: AlgLE stabilization O(D log n))", runLE)
+	return leMisSweep(cfg, "E2 (Thm 1.3: AlgLE stabilization O(D log n))", campaign.AlgLE)
 }
 
 // E3 validates Theorem 1.4: MIS stabilizes in O((D + log n) log n) rounds.
 func E3(cfg Config) (Result, error) {
-	return leMisSweep(cfg, "E3 (Thm 1.4: AlgMIS stabilization O((D+log n) log n))", runMIS)
+	return leMisSweep(cfg, "E3 (Thm 1.4: AlgMIS stabilization O((D+log n) log n))", campaign.AlgMIS)
 }
 
 // E5 validates Theorem 3.1 statistically: Restart always exits concurrently
@@ -377,7 +387,7 @@ func E6(cfg Config) (Result, error) {
 				}
 				r, err := eng.RunUntil(func(e *sim.Engine) bool {
 					return au.GraphGood(g, e.Config())
-				}, 60*k*k*k+500)
+				}, budget.AU(k))
 				if err != nil {
 					res.OK = false
 				}
@@ -432,13 +442,13 @@ func E7(cfg Config) (Result, error) {
 			return res, err
 		}
 		k := n.AU().K()
-		budget := 60*k*k*k + 500
-		if _, err := n.RunUntilSynchronized(budget); err != nil {
+		roundBudget := budget.AU(k)
+		if _, err := n.RunUntilSynchronized(roundBudget); err != nil {
 			res.OK = false
 			continue
 		}
 		for i := 0; i < cfg.Trials*3; i++ {
-			if _, err := n.MeasureRecovery(burst, budget); err != nil {
+			if _, err := n.MeasureRecovery(burst, roundBudget); err != nil {
 				res.OK = false
 			}
 		}
@@ -463,10 +473,10 @@ func E8(cfg Config) (Result, error) {
 		return res, err
 	}
 	k := n.AU().K()
-	budget := 60*k*k*k + 500
+	roundBudget := budget.AU(k)
 	tbl := stats.NewTable("Scenario timeline", "event", "rounds", "outcome")
 
-	r, err := n.RunUntilSynchronized(budget)
+	r, err := n.RunUntilSynchronized(roundBudget)
 	if err != nil {
 		res.OK = false
 	}
@@ -483,7 +493,7 @@ func E8(cfg Config) (Result, error) {
 	if ok, err := n.Churn(2); err != nil {
 		return res, err
 	} else if ok {
-		r, err = n.RunUntilSynchronized(budget)
+		r, err = n.RunUntilSynchronized(roundBudget)
 		if err != nil {
 			res.OK = false
 		}
@@ -492,7 +502,7 @@ func E8(cfg Config) (Result, error) {
 		tbl.AddRow("link churn (2 rewires)", 0, "no admissible rewiring found (skipped)")
 	}
 
-	r, err = n.MeasureRecovery(6, budget)
+	r, err = n.MeasureRecovery(6, roundBudget)
 	if err != nil {
 		res.OK = false
 	}
@@ -522,25 +532,36 @@ func All(cfg Config) ([]Result, error) {
 
 // --- shared sweep helpers ------------------------------------------------
 
-// sweepGraphs returns a representative family suite whose diameters are at
-// most d (AlgAU's contract allows diam <= D).
-func sweepGraphs(d, n int, rng *rand.Rand) []*graph.Graph {
-	var out []*graph.Graph
-	if g, err := graph.BoundedDiameter(n, d, rng); err == nil {
-		out = append(out, g)
+// e1Graphs is the representative family suite of the E1 sweep as declarative
+// campaign graph specs: diameters are at most d (AlgAU's contract allows
+// diam <= D).
+func e1Graphs(d, n int) []struct {
+	family graph.Family
+	n      int
+} {
+	type gs = struct {
+		family graph.Family
+		n      int
 	}
-	if g, err := graph.Path(d + 1); err == nil {
-		out = append(out, g)
+	out := []gs{
+		{graph.FamilyBoundedD, n},
+		{graph.FamilyPath, d + 1},
 	}
 	if d >= 2 {
-		if g, err := graph.Cycle(2 * d); err == nil {
-			out = append(out, g)
-		}
+		out = append(out, gs{graph.FamilyCycle, 2 * d})
 	}
-	if g, err := graph.Complete(minInt(n, 8)); err == nil && d >= 1 {
-		out = append(out, g)
-	}
+	out = append(out, gs{graph.FamilyComplete, minInt(n, 8)})
 	return out
+}
+
+// e1Schedulers is the scheduler suite of the E1 sweep.
+func e1Schedulers() []campaign.SchedulerSpec {
+	return []campaign.SchedulerSpec{
+		campaign.Synchronous,
+		campaign.RoundRobin,
+		{Kind: "random-subset", P: 0.35, MaxGap: 16},
+		{Kind: "laggard", Victim: 0, Period: 4},
+	}
 }
 
 // sweepGraphsExactD returns graphs with diameter exactly d.
@@ -558,15 +579,6 @@ func sweepGraphsExactD(d int, rng *rand.Rand) []*graph.Graph {
 		}
 	}
 	return out
-}
-
-func sweepSchedulers(rng *rand.Rand) []sched.Scheduler {
-	return []sched.Scheduler{
-		sched.NewSynchronous(),
-		sched.NewRoundRobin(),
-		sched.NewRandomSubset(0.35, 16, rand.New(rand.NewSource(rng.Int63()))),
-		sched.NewLaggard(0, 4),
-	}
 }
 
 func minInt(a, b int) int {

@@ -1,87 +1,48 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
+	"thinunison/internal/campaign"
 	"thinunison/internal/graph"
-	"thinunison/internal/le"
-	"thinunison/internal/mis"
-	"thinunison/internal/restart"
 	"thinunison/internal/stats"
-	"thinunison/internal/syncsim"
 )
 
-// runner executes one synchronous LE or MIS trial from adversarial random
-// states and returns the stabilization rounds (or budget, false on miss).
-type runner func(g *graph.Graph, d int, seed int64, budget int, rng *rand.Rand) (int, bool)
-
-// runLE runs one AlgLE trial.
-func runLE(g *graph.Graph, d int, seed int64, budget int, rng *rand.Rand) (int, bool) {
-	alg, err := le.New(le.Params{D: d})
-	if err != nil {
-		return budget, false
-	}
-	initial := make([]restart.State[le.State], g.N())
-	for v := range initial {
-		initial[v] = alg.RandomState(rng)
-	}
-	eng, err := syncsim.New(g, alg.Step, initial, seed)
-	if err != nil {
-		return budget, false
-	}
-	return eng.RunUntil(func(e *syncsim.Engine[restart.State[le.State]]) bool {
-		return le.Stable(e.States())
-	}, budget)
-}
-
-// runMIS runs one AlgMIS trial.
-func runMIS(g *graph.Graph, d int, seed int64, budget int, rng *rand.Rand) (int, bool) {
-	alg, err := mis.New(mis.Params{D: d})
-	if err != nil {
-		return budget, false
-	}
-	initial := make([]restart.State[mis.State], g.N())
-	for v := range initial {
-		initial[v] = alg.RandomState(rng)
-	}
-	eng, err := syncsim.New(g, alg.Step, initial, seed)
-	if err != nil {
-		return budget, false
-	}
-	return eng.RunUntil(func(e *syncsim.Engine[restart.State[mis.State]]) bool {
-		return mis.Stable(g, e.States())
-	}, budget)
-}
-
-// leMisSweep sweeps n over bounded-diameter families and reports rounds vs
-// the theorem's bound shape.
-func leMisSweep(cfg Config, id string, run runner) (Result, error) {
+// leMisSweep sweeps n over bounded-diameter families via the parallel
+// campaign runner and reports stabilization rounds against the theorem's
+// bound shape.
+func leMisSweep(cfg Config, id string, alg campaign.Algorithm) (Result, error) {
 	cfg.defaults()
-	rng := rand.New(rand.NewSource(cfg.Seed + 23))
 	res := Result{ID: id, OK: true}
 	tbl := stats.NewTable("Stabilization rounds from adversarial states (bounded-diameter family, D=3)",
 		"n", "log2 n", "instances", "median", "p95", "max", "max/(D*log n)", "max/((D+log n)*log n)")
 
 	const d = 3
-	var ns, maxs []float64
+	var sizes []int
 	for n := 8; n <= cfg.MaxN; n *= 2 {
-		var rounds []int
-		logn := stats.Log2(n)
-		budget := 3000*(d+logn)*logn + 5000
-		for trial := 0; trial < cfg.Trials*2; trial++ {
-			g, err := graph.BoundedDiameter(n, d, rng)
-			if err != nil {
-				return res, err
-			}
-			r, ok := run(g, d, rng.Int63(), budget, rng)
-			if !ok {
-				res.OK = false
-				r = budget
-			}
-			rounds = append(rounds, r)
+		sizes = append(sizes, n)
+	}
+	records, err := (&campaign.Runner{}).RunMatrix(context.Background(), cfg.Seed+23, campaign.Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          sizes,
+		DiameterBounds: []int{d},
+		Schedulers:     []campaign.SchedulerSpec{campaign.Synchronous},
+		Algorithms:     []campaign.Algorithm{alg},
+		Trials:         cfg.Trials * 2,
+	})
+	if err != nil {
+		return res, err
+	}
+
+	var ns, maxs []float64
+	for _, g := range campaign.Aggregate(records) {
+		if g.Failures > 0 {
+			res.OK = false
 		}
-		sum := stats.SummarizeInts(rounds)
+		n := g.Key.N
+		logn := stats.Log2(n)
+		sum := g.Rounds
 		tbl.AddRow(n, logn, sum.N, sum.Median, sum.P95, sum.Max,
 			sum.Max/float64(d*logn), sum.Max/float64((d+logn)*logn))
 		ns = append(ns, float64(n))

@@ -1,0 +1,120 @@
+package graph_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/graph"
+)
+
+// TestKnownDiameterMatchesExact cross-checks the analytic family diameters
+// (used by large-scale campaigns in place of the quadratic exact computation)
+// against Graph.Diameter on instances small enough to measure.
+func TestKnownDiameterMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, f := range graph.Families() {
+		if f == graph.FamilyRandom {
+			continue // diameter depends on random choices; KnownDiameter declines
+		}
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 9, 12, 16, 17, 25, 31, 32, 33, 64, 100} {
+			d := 3
+			if !validFamilySize(f, n, d) {
+				continue
+			}
+			g, err := graph.FromFamily(f, n, d, rng)
+			if err != nil {
+				t.Fatalf("%s n=%d: %v", f, n, err)
+			}
+			known, ok := graph.KnownDiameter(f, g.N(), d)
+			if !ok {
+				t.Errorf("%s n=%d: KnownDiameter declined", f, n)
+				continue
+			}
+			if exact := g.Diameter(); known != exact {
+				t.Errorf("%s n=%d (built n=%d): KnownDiameter %d, exact %d", f, n, g.N(), known, exact)
+			}
+		}
+	}
+	if _, ok := graph.KnownDiameter(graph.FamilyRandom, 32, 0); ok {
+		t.Error("KnownDiameter claimed the random family")
+	}
+}
+
+func validFamilySize(f graph.Family, n, d int) bool {
+	switch f {
+	case graph.FamilyCycle:
+		return n >= 3
+	case graph.FamilyBoundedD:
+		return d >= 1 && d < n
+	default:
+		return n >= 1
+	}
+}
+
+// TestDiameterBounds checks the double-sweep bounds bracket the exact
+// diameter on assorted graphs, and are exact lower bounds on trees.
+func TestDiameterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	graphs := map[string]*graph.Graph{}
+	for _, n := range []int{1, 2, 7, 20} {
+		g, err := graph.Path(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs["path"+string(rune('0'+n%10))] = g
+	}
+	if g, err := graph.RandomConnected(40, 0.1, rng); err == nil {
+		graphs["random"] = g
+	}
+	if g, err := graph.Grid(4, 7); err == nil {
+		graphs["grid"] = g
+	}
+	if g, err := graph.CompleteBinaryTree(37); err == nil {
+		graphs["tree"] = g
+	}
+	for name, g := range graphs {
+		lower, upper := g.DiameterBounds()
+		exact := g.Diameter()
+		if lower > exact || upper < exact {
+			t.Errorf("%s: bounds [%d, %d] do not bracket exact diameter %d", name, lower, upper, exact)
+		}
+	}
+	// Trees: the double sweep's lower bound is exact.
+	tree, err := graph.CompleteBinaryTree(37)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lower, _ := tree.DiameterBounds(); lower != tree.Diameter() {
+		t.Errorf("tree lower bound %d != exact %d", lower, tree.Diameter())
+	}
+}
+
+// TestParseFamily round-trips every family name and rejects junk.
+func TestParseFamily(t *testing.T) {
+	for _, f := range graph.Families() {
+		got, err := graph.ParseFamily(string(f))
+		if err != nil || got != f {
+			t.Errorf("ParseFamily(%q) = %v, %v", f, got, err)
+		}
+	}
+	if _, err := graph.ParseFamily("moebius"); err == nil {
+		t.Error("ParseFamily accepted an unknown name")
+	}
+}
+
+// TestBoundedDiameterLargeN exercises the O(n+m) certificate on an instance
+// far beyond what the quadratic check could afford in a test.
+func TestBoundedDiameterLargeN(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := graph.BoundedDiameter(100_000, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100_000 {
+		t.Fatalf("built %d nodes", g.N())
+	}
+	lower, upper := g.DiameterBounds()
+	if lower > 4 || upper < 4 {
+		t.Errorf("bounds [%d, %d] inconsistent with diameter 4", lower, upper)
+	}
+}

@@ -202,8 +202,25 @@ func BoundedDiameter(n, d int, rng *rand.Rand) (*Graph, error) {
 		}
 	}
 	g := b.Build()
-	if got := g.Diameter(); got != d {
-		return nil, fmt.Errorf("graph: bounded-diameter construction produced diameter %d, want %d", got, d)
+	// Certify diameter == d with two BFS traversals instead of the quadratic
+	// all-pairs Diameter: ecc(0) == d gives the lower bound (0 and the far
+	// spine end realize it), and every pair is joined through the spine
+	// midpoint, so the sum of the two largest BFS-from-mid distances is an
+	// upper bound. Both equal d for this construction, and the O(n + m) check
+	// keeps 10^5-node campaign instances affordable.
+	if ecc := g.Eccentricity(0); ecc != d {
+		return nil, fmt.Errorf("graph: bounded-diameter construction has ecc(0)=%d, want %d", ecc, d)
+	}
+	top1, top2 := 0, 0
+	for _, dist := range g.BFS(mid) {
+		if dist > top1 {
+			top1, top2 = dist, top1
+		} else if dist > top2 {
+			top2 = dist
+		}
+	}
+	if top1+top2 > d {
+		return nil, fmt.Errorf("graph: bounded-diameter construction certifies only diameter <= %d, want %d", top1+top2, d)
 	}
 	return g, nil
 }
@@ -246,6 +263,85 @@ const (
 	FamilyBoundedD Family = "boundedD"
 )
 
+// Families returns every named family, in a fixed order.
+func Families() []Family {
+	return []Family{
+		FamilyPath, FamilyCycle, FamilyStar, FamilyComplete,
+		FamilyGrid, FamilyTree, FamilyRandom, FamilyBoundedD,
+	}
+}
+
+// ParseFamily resolves a family name as used in campaign specs and CLI flags.
+func ParseFamily(name string) (Family, error) {
+	for _, f := range Families() {
+		if string(f) == name {
+			return f, nil
+		}
+	}
+	return "", fmt.Errorf("graph: unknown family %q", name)
+}
+
+// gridSide returns the side length FromFamily uses for FamilyGrid.
+func gridSide(n int) int {
+	side := 1
+	for side*side < n {
+		side++
+	}
+	return side
+}
+
+// KnownDiameter returns the analytically known diameter of an n-node member
+// of the family (d is the FamilyBoundedD parameter), or ok=false for families
+// whose diameter depends on random choices (FamilyRandom) and must be
+// measured. Campaigns use it to parameterize AlgAU on 10^5-node instances
+// without an exact all-pairs diameter computation.
+func KnownDiameter(f Family, n, d int) (int, bool) {
+	if n == 1 {
+		return 0, true
+	}
+	switch f {
+	case FamilyPath:
+		return n - 1, true
+	case FamilyCycle:
+		return n / 2, true
+	case FamilyStar:
+		if n == 2 {
+			return 1, true
+		}
+		return 2, true
+	case FamilyComplete:
+		return 1, true
+	case FamilyGrid:
+		return 2 * (gridSide(n) - 1), true
+	case FamilyTree:
+		// Complete binary tree (children of i are 2i+1, 2i+2, bottom level
+		// filled left to right): the diameter joins the deepest leaves of the
+		// root's two subtrees, and within any subtree the leftmost descent is
+		// a longest root-to-leaf path.
+		if n <= 2 {
+			return n - 1, true
+		}
+		return (1 + leftmostDepth(1, n)) + (1 + leftmostDepth(2, n)), true
+	case FamilyBoundedD:
+		if d >= n {
+			return n - 1, false
+		}
+		return d, true
+	default:
+		return 0, false
+	}
+}
+
+// leftmostDepth returns the depth (edges below r) of the leftmost descent
+// from node r in the complete binary tree on n nodes.
+func leftmostDepth(r, n int) int {
+	depth := 0
+	for v := 2*r + 1; v < n; v = 2*v + 1 {
+		depth++
+	}
+	return depth
+}
+
 // FromFamily builds an n-node member of the family. The rng is only used by
 // randomized families; d is only used by FamilyBoundedD.
 func FromFamily(f Family, n, d int, rng *rand.Rand) (*Graph, error) {
@@ -259,10 +355,7 @@ func FromFamily(f Family, n, d int, rng *rand.Rand) (*Graph, error) {
 	case FamilyComplete:
 		return Complete(n)
 	case FamilyGrid:
-		side := 1
-		for side*side < n {
-			side++
-		}
+		side := gridSide(n)
 		return Grid(side, side)
 	case FamilyTree:
 		return CompleteBinaryTree(n)

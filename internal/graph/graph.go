@@ -231,6 +231,37 @@ func (g *Graph) Diameter() int {
 	return diam
 }
 
+// DiameterBounds returns cheap lower and upper bounds on the diameter using
+// a double BFS sweep (two BFS traversals total, O(n + m)): the lower bound is
+// the eccentricity of the node found farthest from node 0, and the upper
+// bound is twice the smaller of the two observed eccentricities (diam <=
+// 2 ecc(v) for every v). On trees the lower bound is the exact diameter.
+// Both are -1 if the graph is disconnected. Large-scale campaigns use this
+// instead of the exact all-pairs Diameter, which is quadratic in n.
+func (g *Graph) DiameterBounds() (lower, upper int) {
+	ecc0 := 0
+	far := 0
+	for v, d := range g.BFS(0) {
+		if d == -1 {
+			return -1, -1
+		}
+		if d > ecc0 {
+			ecc0 = d
+			far = v
+		}
+	}
+	eccFar := g.Eccentricity(far)
+	lower = eccFar
+	upper = 2 * ecc0
+	if 2*eccFar < upper {
+		upper = 2 * eccFar
+	}
+	if upper < lower {
+		upper = lower
+	}
+	return lower, upper
+}
+
 // ShortestPath returns one shortest path from u to v (inclusive of both
 // endpoints), or nil if v is unreachable from u.
 func (g *Graph) ShortestPath(u, v NodeID) []NodeID {

@@ -1,0 +1,97 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/sched"
+)
+
+// TestRandomSubsetHonorsMaxGap drives a low-probability random-subset
+// scheduler long enough that, without the force-activation rule, starvation
+// would be near certain, and asserts no node ever waits more than maxGap
+// steps between activations.
+func TestRandomSubsetHonorsMaxGap(t *testing.T) {
+	const (
+		n      = 20
+		maxGap = 7
+		steps  = 5000
+	)
+	s := sched.NewRandomSubset(0.01, maxGap, rand.New(rand.NewSource(42)))
+	last := make([]int, n)
+	for v := range last {
+		last[v] = -1
+	}
+	for step := 0; step < steps; step++ {
+		for _, v := range s.Activations(step, n) {
+			if v < 0 || v >= n {
+				t.Fatalf("step %d: activation %d out of range", step, v)
+			}
+			last[v] = step
+		}
+		for v := 0; v < n; v++ {
+			gap := step - last[v]
+			if last[v] == -1 {
+				gap = step + 1
+			}
+			if gap > maxGap {
+				t.Fatalf("node %d starved for %d steps at step %d (maxGap %d)", v, gap, step, maxGap)
+			}
+		}
+	}
+}
+
+// TestRandomSubsetDefaultMaxGap checks the documented maxGap<=0 fallback.
+func TestRandomSubsetDefaultMaxGap(t *testing.T) {
+	const n = 5
+	s := sched.NewRandomSubset(0.0, 0, rand.New(rand.NewSource(7)))
+	last := make([]int, n)
+	for v := range last {
+		last[v] = -1
+	}
+	for step := 0; step < 1000; step++ {
+		for _, v := range s.Activations(step, n) {
+			last[v] = step
+		}
+	}
+	for v := 0; v < n; v++ {
+		if 999-last[v] > 64 {
+			t.Errorf("node %d starved beyond the default 64-step gap (last at %d)", v, last[v])
+		}
+	}
+}
+
+// TestLaggardExactlyOncePerPeriod asserts the starved node is activated
+// exactly once in every period-step window — and every other node every
+// step — which is the property the fault-recovery campaigns lean on.
+func TestLaggardExactlyOncePerPeriod(t *testing.T) {
+	const (
+		n       = 6
+		victim  = 2
+		period  = 5
+		periods = 40
+	)
+	s := sched.NewLaggard(victim, period)
+	for p := 0; p < periods; p++ {
+		victimHits := 0
+		for i := 0; i < period; i++ {
+			step := p*period + i
+			act := s.Activations(step, n)
+			seen := make(map[int]bool, len(act))
+			for _, v := range act {
+				seen[v] = true
+			}
+			if seen[victim] {
+				victimHits++
+			}
+			for v := 0; v < n; v++ {
+				if v != victim && !seen[v] {
+					t.Fatalf("step %d: non-victim node %d not activated", step, v)
+				}
+			}
+		}
+		if victimHits != 1 {
+			t.Fatalf("period %d: victim activated %d times, want exactly 1", p, victimHits)
+		}
+	}
+}

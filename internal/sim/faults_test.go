@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sim"
+)
+
+// TestInjectFaultsNegativeCount pins the degenerate-input clamp: a negative
+// burst size injects nothing instead of panicking on a negative slice bound.
+func TestInjectFaultsNegativeCount(t *testing.T) {
+	g, err := graph.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, au, sim.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := eng.Config().Clone()
+	if hit := eng.InjectFaults(-7); len(hit) != 0 {
+		t.Errorf("negative count injected %d faults", len(hit))
+	}
+	for v, q := range eng.Config() {
+		if q != before[v] {
+			t.Errorf("negative count mutated node %d", v)
+		}
+	}
+}

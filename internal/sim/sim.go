@@ -122,8 +122,12 @@ func (e *Engine) SetState(v int, q sa.State) error {
 
 // InjectFaults corrupts count distinct random nodes to uniformly random
 // states, returning the affected nodes. It models a burst of transient
-// faults mid-execution.
+// faults mid-execution. The count is clamped to [0, n]: negative counts
+// inject nothing rather than panicking.
 func (e *Engine) InjectFaults(count int) []int {
+	if count < 0 {
+		count = 0
+	}
 	if count > e.g.N() {
 		count = e.g.N()
 	}

@@ -1,0 +1,46 @@
+package stats_test
+
+import (
+	"math"
+	"testing"
+
+	"thinunison/internal/stats"
+)
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 0, 0},
+		{1, 2, 3},
+		{math.MaxInt, 1, math.MaxInt},
+		{math.MaxInt - 5, 5, math.MaxInt},
+		{math.MaxInt - 5, 6, math.MaxInt},
+		{math.MaxInt, math.MaxInt, math.MaxInt},
+	}
+	for _, c := range cases {
+		if got := stats.SatAdd(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSatMul(t *testing.T) {
+	cases := []struct {
+		factors []int
+		want    int
+	}{
+		{nil, 1},
+		{[]int{7}, 7},
+		{[]int{2, 3, 4}, 24},
+		{[]int{0, math.MaxInt}, 0},
+		{[]int{math.MaxInt, 2}, math.MaxInt},
+		{[]int{1 << 31, 1 << 31, 1 << 31}, math.MaxInt},
+		// The cubic budget formula that motivated saturation: k = 3D+2 for
+		// a huge diameter bound must clamp, not wrap negative.
+		{[]int{60, 3_000_000_007, 3_000_000_007, 3_000_000_007}, math.MaxInt},
+	}
+	for _, c := range cases {
+		if got := stats.SatMul(c.factors...); got != c.want {
+			t.Errorf("SatMul(%v) = %d, want %d", c.factors, got, c.want)
+		}
+	}
+}

@@ -182,6 +182,30 @@ func (t *Table) Render() string {
 	return b.String()
 }
 
+// SatAdd returns a+b, saturating at math.MaxInt instead of overflowing.
+// Operands must be non-negative; budget formulas are.
+func SatAdd(a, b int) int {
+	if a > math.MaxInt-b {
+		return math.MaxInt
+	}
+	return a + b
+}
+
+// SatMul returns the product of its operands, saturating at math.MaxInt.
+// Operands must be non-negative. It keeps the cubic round-budget formulas
+// (60k³ + 500, 3000(D+log n)log n + 5000) well defined for huge D instead of
+// wrapping negative and disabling the budget check.
+func SatMul(factors ...int) int {
+	out := 1
+	for _, f := range factors {
+		if f != 0 && out > math.MaxInt/f {
+			return math.MaxInt
+		}
+		out *= f
+	}
+	return out
+}
+
 // Log2 returns ceil(log2(n)) for n >= 1 (a convenience for budget
 // formulas).
 func Log2(n int) int {

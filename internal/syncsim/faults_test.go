@@ -1,0 +1,69 @@
+package syncsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/syncsim"
+)
+
+func newIntEngine(t *testing.T, n int) *syncsim.Engine[int] {
+	t.Helper()
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(self int, _ []int, _ *rand.Rand) int { return self }
+	eng, err := syncsim.New(g, step, make([]int, n), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// TestInjectFaultsClamps covers the degenerate counts the campaign fault
+// specs can produce: negative counts inject nothing, oversized counts clamp
+// to n, and the corrupted nodes are distinct.
+func TestInjectFaultsClamps(t *testing.T) {
+	random := func(rng *rand.Rand) int { return 1 + rng.Intn(9) }
+
+	eng := newIntEngine(t, 8)
+	if hit := eng.InjectFaults(-5, random); len(hit) != 0 {
+		t.Errorf("negative count injected %d faults", len(hit))
+	}
+	for _, s := range eng.States() {
+		if s != 0 {
+			t.Error("negative count mutated state")
+		}
+	}
+
+	hit := eng.InjectFaults(100, random)
+	if len(hit) != 8 {
+		t.Errorf("oversized count hit %d nodes, want all 8", len(hit))
+	}
+	seen := map[int]bool{}
+	for _, v := range hit {
+		if seen[v] {
+			t.Errorf("node %d corrupted twice in one burst", v)
+		}
+		seen[v] = true
+	}
+	for _, s := range eng.States() {
+		if s == 0 {
+			t.Error("full-network burst left a node uncorrupted")
+		}
+	}
+}
+
+// TestStepsMatchesRounds pins the synchronous steps==rounds identity the
+// generic campaign driver relies on.
+func TestStepsMatchesRounds(t *testing.T) {
+	eng := newIntEngine(t, 4)
+	for i := 0; i < 5; i++ {
+		eng.Round()
+	}
+	if eng.Steps() != eng.Rounds() || eng.Steps() != 5 {
+		t.Errorf("Steps() = %d, Rounds() = %d, want both 5", eng.Steps(), eng.Rounds())
+	}
+}

@@ -92,6 +92,28 @@ func (e *Engine[S]) sense(v int) []S {
 // Rounds returns the number of rounds executed.
 func (e *Engine[S]) Rounds() int { return e.round }
 
+// Steps returns the number of scheduler steps executed; under the synchronous
+// schedule steps and rounds coincide. It exists so campaign runners can drive
+// synchronous and asynchronous engines through one generic interface.
+func (e *Engine[S]) Steps() int { return e.round }
+
+// InjectFaults corrupts count distinct random nodes (clamped to [0, n]) to
+// states drawn from random, returning the affected nodes. It models a burst
+// of transient faults mid-execution; self-stabilization guarantees recovery.
+func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int {
+	if count < 0 {
+		count = 0
+	}
+	if count > e.g.N() {
+		count = e.g.N()
+	}
+	hit := e.rng.Perm(e.g.N())[:count]
+	for _, v := range hit {
+		e.states[v] = random(e.rng)
+	}
+	return hit
+}
+
 // State returns the current state of node v.
 func (e *Engine[S]) State(v int) S { return e.states[v] }
 

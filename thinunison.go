@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"thinunison/internal/asyncsim"
+	"thinunison/internal/budget"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
 	"thinunison/internal/le"
@@ -169,16 +170,21 @@ func (u *Unison) Clocks() []int {
 	return out
 }
 
+// Steps returns the number of scheduler steps executed so far (the current
+// time t; rounds are the scheduler-independent measure, steps the raw one).
+func (u *Unison) Steps() int { return u.eng.StepCount() }
+
 // InjectFaults corrupts count random nodes to arbitrary states (a transient
-// fault burst), returning the affected nodes. Self-stabilization guarantees
-// recovery; measure it with RunUntilStabilized.
+// fault burst), returning the affected nodes; count is clamped to [0, n].
+// Self-stabilization guarantees recovery; measure it with
+// RunUntilStabilized.
 func (u *Unison) InjectFaults(count int) []int { return u.eng.InjectFaults(count) }
 
 // StabilizationBudget returns a round budget within which stabilization is
 // guaranteed for this instance (a concrete constant for the paper's O(D³)).
+// The cubic saturates at math.MaxInt for huge D instead of overflowing.
 func (u *Unison) StabilizationBudget() int {
-	k := u.au.K()
-	return 60*k*k*k + 500
+	return budget.AU(u.au.K())
 }
 
 // MISResult is the output of SolveMIS.
@@ -203,7 +209,7 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 		return MISResult{}, err
 	}
 	rng := rand.New(rand.NewSource(o.seed))
-	budget := taskBudget(o.d, g.N())
+	roundBudget := taskBudget(o.d, g.N())
 
 	if o.sched == nil {
 		initial := make([]restart.State[mis.State], g.N())
@@ -216,9 +222,9 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 		}
 		rounds, ok := eng.RunUntil(func(e *syncsim.Engine[restart.State[mis.State]]) bool {
 			return mis.Stable(g, e.States())
-		}, budget)
+		}, roundBudget)
 		if !ok {
-			return MISResult{}, fmt.Errorf("thinunison: MIS did not stabilize within %d rounds", budget)
+			return MISResult{}, fmt.Errorf("thinunison: MIS did not stabilize within %d rounds", roundBudget)
 		}
 		return MISResult{InSet: mis.InSet(eng.States()), Rounds: rounds}, nil
 	}
@@ -239,8 +245,7 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 	if err != nil {
 		return MISResult{}, err
 	}
-	k := 3*o.d + 2
-	budget += 80 * k * k * k
+	roundBudget = stats.SatAdd(roundBudget, budget.Synchronizer(o.d))
 	piStates := func(e *asyncsim.Engine[synchronizer.State[restart.State[mis.State]]]) []restart.State[mis.State] {
 		states := e.States()
 		pi := make([]restart.State[mis.State], len(states))
@@ -251,9 +256,9 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 	}
 	rounds, ok := eng.RunUntil(func(e *asyncsim.Engine[synchronizer.State[restart.State[mis.State]]]) bool {
 		return mis.Stable(g, piStates(e))
-	}, budget)
+	}, roundBudget)
 	if !ok {
-		return MISResult{}, fmt.Errorf("thinunison: asynchronous MIS did not stabilize within %d rounds", budget)
+		return MISResult{}, fmt.Errorf("thinunison: asynchronous MIS did not stabilize within %d rounds", roundBudget)
 	}
 	return MISResult{InSet: mis.InSet(piStates(eng)), Rounds: rounds}, nil
 }
@@ -280,7 +285,7 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 		return LEResult{}, err
 	}
 	rng := rand.New(rand.NewSource(o.seed))
-	budget := taskBudget(o.d, g.N())
+	roundBudget := taskBudget(o.d, g.N())
 
 	if o.sched == nil {
 		initial := make([]restart.State[le.State], g.N())
@@ -293,9 +298,9 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 		}
 		rounds, ok := eng.RunUntil(func(e *syncsim.Engine[restart.State[le.State]]) bool {
 			return le.Stable(e.States())
-		}, budget)
+		}, roundBudget)
 		if !ok {
-			return LEResult{}, fmt.Errorf("thinunison: LE did not stabilize within %d rounds", budget)
+			return LEResult{}, fmt.Errorf("thinunison: LE did not stabilize within %d rounds", roundBudget)
 		}
 		return LEResult{Leader: le.Leaders(eng.States())[0], Rounds: rounds}, nil
 	}
@@ -316,8 +321,7 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 	if err != nil {
 		return LEResult{}, err
 	}
-	k := 3*o.d + 2
-	budget += 80 * k * k * k
+	roundBudget = stats.SatAdd(roundBudget, budget.Synchronizer(o.d))
 	piStates := func(e *asyncsim.Engine[synchronizer.State[restart.State[le.State]]]) []restart.State[le.State] {
 		states := e.States()
 		pi := make([]restart.State[le.State], len(states))
@@ -328,15 +332,15 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 	}
 	rounds, ok := eng.RunUntil(func(e *asyncsim.Engine[synchronizer.State[restart.State[le.State]]]) bool {
 		return le.Stable(piStates(e))
-	}, budget)
+	}, roundBudget)
 	if !ok {
-		return LEResult{}, fmt.Errorf("thinunison: asynchronous LE did not stabilize within %d rounds", budget)
+		return LEResult{}, fmt.Errorf("thinunison: asynchronous LE did not stabilize within %d rounds", roundBudget)
 	}
 	return LEResult{Leader: le.Leaders(piStates(eng))[0], Rounds: rounds}, nil
 }
 
-// taskBudget is the generous Theorem 1.3/1.4 round budget.
+// taskBudget is the generous Theorem 1.3/1.4 round budget, saturating at
+// math.MaxInt for degenerate (huge-D) inputs instead of wrapping negative.
 func taskBudget(d, n int) int {
-	logn := stats.Log2(n)
-	return 3000*(d+logn)*logn + 5000
+	return budget.Task(d, n)
 }
