@@ -1,0 +1,137 @@
+// Command hotpathbench measures the simulation hot path and writes the
+// BENCH_hotpath.json perf artifact: step throughput and allocation counts on
+// scale-sweep-sized AlgAU instances, stabilization and fault-storm recovery
+// wall times, and the speedup of the incremental stabilization monitor over
+// the pre-incremental full-graph rescan.
+//
+// Regenerate the committed artifact with
+//
+//	go run ./cmd/hotpathbench -out BENCH_hotpath.json
+//
+// The same scenarios run as go benchmarks: go test -bench=HotPath -benchmem.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"thinunison/internal/hotpath"
+)
+
+type entry struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	RoundsPerOp float64 `json:"rounds_per_op,omitempty"`
+}
+
+type speedup struct {
+	Scenario      string  `json:"scenario"`
+	IncrementalNs float64 `json:"incremental_ns_per_op"`
+	FullScanNs    float64 `json:"fullscan_ns_per_op"`
+	Speedup       float64 `json:"speedup"`
+}
+
+type artifact struct {
+	Tool       string    `json:"tool"`
+	GoVersion  string    `json:"go_version"`
+	NumCPU     int       `json:"num_cpu"`
+	Benchmarks []entry   `json:"benchmarks"`
+	Speedups   []speedup `json:"speedups"`
+}
+
+func measure(name string, n, iters int, fn func(b *testing.B)) entry {
+	if err := flag.Set("test.benchtime", fmt.Sprintf("%dx", iters)); err != nil {
+		panic(err)
+	}
+	r := testing.Benchmark(fn)
+	e := entry{
+		Name:        name,
+		N:           n,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if rounds, ok := r.Extra["rounds/op"]; ok {
+		e.RoundsPerOp = rounds
+	}
+	fmt.Fprintf(os.Stderr, "%-40s %10.0f ns/op %6d allocs/op\n", e.Name, e.NsPerOp, e.AllocsPerOp)
+	return e
+}
+
+func main() {
+	out := flag.String("out", "BENCH_hotpath.json", "output path for the JSON artifact")
+	quick := flag.Bool("quick", false, "skip the slowest (n=10000 full-scan) measurements")
+	testing.Init()
+	flag.Parse()
+
+	var a artifact
+	a.Tool = "cmd/hotpathbench"
+	a.GoVersion = runtime.Version()
+	a.NumCPU = runtime.NumCPU()
+
+	// Steady-state step throughput: the allocation-free inner loop.
+	for _, n := range []int{1000, 10000, 100000} {
+		iters := 2000
+		if n >= 100000 {
+			iters = 100
+		}
+		a.Benchmarks = append(a.Benchmarks,
+			measure(hotpath.Name("steady-step", n, hotpath.Incremental), n, iters, hotpath.SteadyStep(n)))
+	}
+
+	// Stabilization from a random configuration, and fault-storm recovery,
+	// with both predicate modes: the ratio is the incremental monitor's win.
+	record := func(scenario string, n, iters int, fn func(mode hotpath.Mode) func(b *testing.B)) {
+		inc := measure(hotpath.Name(scenario, n, hotpath.Incremental), n, iters, fn(hotpath.Incremental))
+		full := measure(hotpath.Name(scenario, n, hotpath.FullScan), n, iters, fn(hotpath.FullScan))
+		a.Benchmarks = append(a.Benchmarks, inc, full)
+		a.Speedups = append(a.Speedups, speedup{
+			Scenario:      fmt.Sprintf("%s/n=%d", scenario, n),
+			IncrementalNs: inc.NsPerOp,
+			FullScanNs:    full.NsPerOp,
+			Speedup:       full.NsPerOp / inc.NsPerOp,
+		})
+	}
+	for _, n := range []int{1000, 10000} {
+		record("stabilize", n, 5, func(m hotpath.Mode) func(b *testing.B) {
+			return hotpath.Stabilize(n, m)
+		})
+	}
+	const faults = 16
+	record("recovery", 1000, 10, func(m hotpath.Mode) func(b *testing.B) {
+		return hotpath.Recovery(1000, faults, m)
+	})
+	if !*quick {
+		// One iteration is enough: a full-scan recovery at n=10000 walks
+		// ~n nodes per round-robin step and takes seconds per burst.
+		record("recovery", 10000, 1, func(m hotpath.Mode) func(b *testing.B) {
+			return hotpath.Recovery(10000, faults, m)
+		})
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&a); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

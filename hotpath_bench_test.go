@@ -1,0 +1,44 @@
+package thinunison_test
+
+// Hot-path benchmarks over scale-sweep-sized AlgAU instances. Run with
+//
+//	go test -bench=HotPath -benchmem
+//
+// and regenerate the committed artifact with
+//
+//	go run ./cmd/hotpathbench -out BENCH_hotpath.json
+//
+// BenchmarkHotPathSteadyStep must report 0 allocs/op: the steady step loop
+// (scheduler buffers, signal scratch, round tracking, incremental
+// stabilization check) allocates nothing. The fullscan variants measure the
+// pre-incremental O(n·Δ)-per-step predicate for the speedup comparison.
+
+import (
+	"fmt"
+	"testing"
+
+	"thinunison/internal/hotpath"
+)
+
+func BenchmarkHotPathSteadyStep(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), hotpath.SteadyStep(n))
+	}
+}
+
+func BenchmarkHotPathStabilize(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []hotpath.Mode{hotpath.Incremental, hotpath.FullScan} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), hotpath.Stabilize(n, mode))
+		}
+	}
+}
+
+func BenchmarkHotPathRecovery(b *testing.B) {
+	const faults = 16
+	for _, n := range []int{1000, 10000} {
+		for _, mode := range []hotpath.Mode{hotpath.Incremental, hotpath.FullScan} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), hotpath.Recovery(n, faults, mode))
+		}
+	}
+}

@@ -15,21 +15,24 @@ import (
 	"math/rand"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/randx"
 	"thinunison/internal/sched"
 	"thinunison/internal/syncsim"
 )
 
 // Engine drives one asynchronous execution of a node program.
 type Engine[S comparable] struct {
-	g       *graph.Graph
-	step    syncsim.StepFunc[S]
-	sch     sched.Scheduler
-	states  []S
-	next    []S
-	rng     *rand.Rand
-	stepNum int
-	tracker *sched.RoundTracker
-	buf     []S
+	g        *graph.Graph
+	step     syncsim.StepFunc[S]
+	sch      sched.Scheduler
+	states   []S
+	scratch  []S // per-step new states of the activated set
+	rng      *rand.Rand
+	stepNum  int
+	tracker  *sched.RoundTracker
+	buf      []S
+	changed  []int // nodes whose state changed in the last step
+	faultBuf []int // reusable permutation buffer for InjectFaults
 }
 
 // New returns an engine with the given initial configuration and scheduler
@@ -51,7 +54,7 @@ func New[S comparable](g *graph.Graph, step syncsim.StepFunc[S], initial []S, s 
 		step:    step,
 		sch:     s,
 		states:  states,
-		next:    make([]S, len(initial)),
+		scratch: make([]S, 0, g.N()),
 		rng:     rand.New(rand.NewSource(seed)),
 		tracker: sched.NewRoundTracker(g.N()),
 	}, nil
@@ -60,14 +63,24 @@ func New[S comparable](g *graph.Graph, step syncsim.StepFunc[S], initial []S, s 
 // Graph returns the underlying graph.
 func (e *Engine[S]) Graph() *graph.Graph { return e.g }
 
-// Step executes one asynchronous step.
+// Step executes one asynchronous step. New states of the activated set are
+// staged in a reusable scratch slice — no O(n) configuration copy per step —
+// and written back only after every activated node has sensed C_t,
+// preserving the simultaneous-update semantics. Nodes whose state actually
+// changed are recorded for Changed.
 func (e *Engine[S]) Step() {
 	activated := e.sch.Activations(e.stepNum, e.g.N())
-	copy(e.next, e.states)
+	e.scratch = e.scratch[:0]
 	for _, v := range activated {
-		e.next[v] = e.step(e.states[v], e.sense(v), e.rng)
+		e.scratch = append(e.scratch, e.step(e.states[v], e.sense(v), e.rng))
 	}
-	e.states, e.next = e.next, e.states
+	e.changed = e.changed[:0]
+	for i, v := range activated {
+		if e.scratch[i] != e.states[v] {
+			e.states[v] = e.scratch[i]
+			e.changed = append(e.changed, v)
+		}
+	}
 	e.tracker.Observe(activated)
 	e.stepNum++
 }
@@ -107,20 +120,28 @@ func (e *Engine[S]) States() []S {
 	return out
 }
 
+// View returns the engine-owned current configuration without copying. The
+// slice must be treated as read-only and is only valid until the next Step,
+// SetState or InjectFaults. It exists so per-step stability checks stay
+// allocation-free.
+func (e *Engine[S]) View() []S { return e.states }
+
+// Changed returns the nodes whose state changed in the most recent Step.
+// The slice is owned by the engine and valid until the next Step. It is the
+// dirty set that incremental stability checks recheck.
+func (e *Engine[S]) Changed() []int { return e.changed }
+
 // SetState overwrites node v's state (transient fault injection).
 func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }
 
 // InjectFaults corrupts count distinct random nodes (clamped to [0, n]) to
 // states drawn from random, returning the affected nodes. It models a burst
 // of transient faults mid-execution; self-stabilization guarantees recovery.
+// The victims are drawn by a partial Fisher–Yates shuffle over a reusable
+// buffer, so repeated bursts allocate nothing; the returned slice is owned
+// by the engine and valid until the next call.
 func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int {
-	if count < 0 {
-		count = 0
-	}
-	if count > e.g.N() {
-		count = e.g.N()
-	}
-	hit := e.rng.Perm(e.g.N())[:count]
+	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
 	for _, v := range hit {
 		e.states[v] = random(e.rng)
 	}

@@ -114,3 +114,31 @@ func TestRunUntilAndRunRounds(t *testing.T) {
 		t.Error("impossible condition reported true")
 	}
 }
+
+// TestChangedTracksActualStateChanges pins the dirty-set contract: Changed
+// returns exactly the activated nodes whose state differs after the step,
+// and View exposes the live configuration without copying.
+func TestChangedTracksActualStateChanges(t *testing.T) {
+	g, err := graph.Path(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := []bool{true, false, false, false}
+	eng, err := asyncsim.New(g, orStep, initial, sched.NewRoundRobin(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0 activates node 0, which already holds true: nothing changes.
+	eng.Step()
+	if got := eng.Changed(); len(got) != 0 {
+		t.Fatalf("step 0: changed = %v, want none (node 0 kept its state)", got)
+	}
+	// Step 1 activates node 1, which senses node 0 and flips to true.
+	eng.Step()
+	if got := eng.Changed(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("step 1: changed = %v, want [1]", got)
+	}
+	if view := eng.View(); !view[1] || view[2] || view[3] {
+		t.Fatalf("view = %v, want [true true false false]", view)
+	}
+}

@@ -154,10 +154,13 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	roundBudget := budget.AU(au.K())
 	rec.Budget = roundBudget
 
+	// Incremental stabilization check: the engine streams node state changes
+	// (steps and fault injections alike) into the monitor, so the per-step
+	// predicate is O(1) instead of a full O(n·Δ) GraphGood rescan.
+	mon := core.NewGoodMonitor(au, g, eng.Config())
+	eng.Observe(mon)
 	cancelled := false
-	good := pollingCond(ctx, &cancelled, func() bool {
-		return au.GraphGood(g, eng.Config())
-	})
+	good := pollingCond(ctx, &cancelled, mon.Good)
 	rounds, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.StepCount()
 	if cancelled {
@@ -190,11 +193,14 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 
 // task bundles the algorithm-specific pieces of a synchronous stone age
 // program (AlgMIS/AlgLE) so the synchronous and synchronized drivers can be
-// written once.
+// written once. Stability is phrased incrementally: eval is the node-local
+// condition (plus weight) fed to a dirty-set syncsim.Checker, and stable the
+// O(1) verdict over the checker.
 type task[S comparable] struct {
 	step   syncsim.StepFunc[restart.State[S]]
 	random func(*rand.Rand) restart.State[S]
-	stable func(g *graph.Graph, states []restart.State[S]) bool
+	eval   func(g *graph.Graph, states []restart.State[S], v int) (ok bool, weight int)
+	stable func(c *syncsim.Checker) bool
 }
 
 func misTask(d int, rec *Record) task[mis.State] {
@@ -206,7 +212,10 @@ func misTask(d int, rec *Record) task[mis.State] {
 	return task[mis.State]{
 		step:   alg.Step,
 		random: alg.RandomState,
-		stable: mis.Stable,
+		eval: func(g *graph.Graph, states []restart.State[mis.State], v int) (bool, int) {
+			return mis.LocalStable(g, states, v), 0
+		},
+		stable: func(c *syncsim.Checker) bool { return c.AllOK() },
 	}
 }
 
@@ -219,9 +228,15 @@ func leTask(d int, rec *Record) task[le.State] {
 	return task[le.State]{
 		step:   alg.Step,
 		random: alg.RandomState,
-		stable: func(_ *graph.Graph, states []restart.State[le.State]) bool {
-			return le.Stable(states)
+		eval: func(_ *graph.Graph, states []restart.State[le.State], v int) (bool, int) {
+			ok, leader := le.LocalStable(states[v])
+			w := 0
+			if leader {
+				w = 1
+			}
+			return ok, w
 		},
+		stable: func(c *syncsim.Checker) bool { return c.AllOK() && c.Sum() == 1 },
 	}
 }
 
@@ -247,9 +262,16 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 	roundBudget := budget.Task(d, g.N())
 	rec.Budget = roundBudget
 
+	// Dirty-set stability: after each round only the changed nodes and their
+	// neighbors are rechecked; the verdict itself is O(1). The engine's View
+	// avoids the per-check configuration copy.
+	chk := syncsim.NewChecker(g, func(v int) (bool, int) {
+		return t.eval(g, eng.View(), v)
+	})
 	cancelled := false
 	stable := pollingCond(ctx, &cancelled, func() bool {
-		return t.stable(g, eng.States())
+		chk.Recheck(eng.Changed())
+		return t.stable(chk)
 	})
 	rounds, ok := eng.RunUntil(func(*syncsim.Engine[restart.State[S]]) bool { return stable() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.Steps()
@@ -264,7 +286,7 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 	rec.OK = true
 
 	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
-		eng.InjectFaults(sc.Faults.Count, t.random)
+		chk.Recheck(eng.InjectFaults(sc.Faults.Count, t.random))
 		recovery, ok := eng.RunUntil(func(*syncsim.Engine[restart.State[S]]) bool { return stable() }, roundBudget)
 		rec.Steps = eng.Steps()
 		if recovery > rec.RecoveryRounds {
@@ -316,17 +338,16 @@ func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph
 	roundBudget := asyncTaskBudget(d, g.N())
 	rec.Budget = roundBudget
 
-	piStates := func() []restart.State[S] {
-		states := eng.States()
-		pi := make([]restart.State[S], len(states))
-		for v, st := range states {
-			pi[v] = st.Cur
-		}
-		return pi
-	}
+	// Dirty-set stability over the π(Cur) projection of the synchronizer
+	// product states; only changed nodes are re-projected and rechecked, so
+	// the per-step check allocates nothing.
+	prj := syncsim.NewProjected(g, eng.View,
+		func(st synchronizer.State[restart.State[S]]) restart.State[S] { return st.Cur },
+		func(pi []restart.State[S], v int) (bool, int) { return t.eval(g, pi, v) })
 	cancelled := false
 	stable := pollingCond(ctx, &cancelled, func() bool {
-		return t.stable(g, piStates())
+		prj.Update(eng.Changed())
+		return t.stable(prj.Checker())
 	})
 	rounds, ok := eng.RunUntil(func(*asyncsim.Engine[synchronizer.State[restart.State[S]]]) bool { return stable() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.Steps()
@@ -341,7 +362,7 @@ func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph
 	rec.OK = true
 
 	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
-		eng.InjectFaults(sc.Faults.Count, randomState)
+		prj.Update(eng.InjectFaults(sc.Faults.Count, randomState))
 		recovery, ok := eng.RunUntil(func(*asyncsim.Engine[synchronizer.State[restart.State[S]]]) bool { return stable() }, roundBudget)
 		rec.Steps = eng.Steps()
 		if recovery > rec.RecoveryRounds {

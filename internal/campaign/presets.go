@@ -107,7 +107,13 @@ func presetFaultStorm(seed int64) []Scenario {
 
 // presetScaleSweep pushes AlgAU to 10^5-node low-diameter instances — the
 // "almost complete but for some broken links" regime the paper motivates —
-// where the analytically known family diameters keep setup linear.
+// where the analytically known family diameters keep setup linear. Beyond
+// the synchronous stabilization sweeps it drives asynchronous schedulers
+// through fault-storm recovery: round-robin is the sparse extreme (one node
+// per step, millions of steps per run — feasible only because per-step work
+// is O(|A_t|·Δ) with no full-graph predicate rescan and no O(n)
+// configuration copy), while laggard stresses near-full activation with a
+// starved victim.
 func presetScaleSweep(seed int64) []Scenario {
 	stars := Matrix{
 		Families:   []graph.Family{graph.FamilyStar},
@@ -128,5 +134,14 @@ func presetScaleSweep(seed int64) []Scenario {
 		Algorithms: []Algorithm{AlgAU},
 		Trials:     1,
 	}
-	return Concat(seed, stars, bounded, trees)
+	async := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{10_000, 100_000},
+		DiameterBounds: []int{4},
+		Schedulers:     []SchedulerSpec{RoundRobin, Laggard},
+		Algorithms:     []Algorithm{AlgAU},
+		Faults:         []FaultSpec{{Count: 16, Bursts: 2}},
+		Trials:         1,
+	}
+	return Concat(seed, stars, bounded, trees, async)
 }

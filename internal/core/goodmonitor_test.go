@@ -1,0 +1,113 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/sim"
+)
+
+// TestGoodMonitorMatchesGraphGood cross-checks the incremental stabilization
+// monitor against the full-scan predicate after every engine step, transient
+// fault burst, and single-node corruption, across graph families and
+// schedulers. This is the correctness anchor of the O(|A_t|·Δ) hot path.
+func TestGoodMonitorMatchesGraphGood(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	graphs := map[string]*graph.Graph{}
+	if g, err := graph.Star(9); err == nil {
+		graphs["star"] = g
+	}
+	if g, err := graph.Cycle(8); err == nil {
+		graphs["cycle"] = g
+	}
+	if g, err := graph.RandomConnected(12, 0.3, rng); err == nil {
+		graphs["random"] = g
+	}
+	if g, err := graph.BoundedDiameter(14, 3, rng); err == nil {
+		graphs["boundedD"] = g
+	}
+	for name, g := range graphs {
+		for _, mk := range []func() sched.Scheduler{
+			func() sched.Scheduler { return sched.NewSynchronous() },
+			func() sched.Scheduler { return sched.NewRoundRobin() },
+			func() sched.Scheduler {
+				return sched.NewRandomSubset(0.4, 8, rand.New(rand.NewSource(5)))
+			},
+		} {
+			s := mk()
+			t.Run(name+"/"+s.Name(), func(t *testing.T) {
+				au, err := core.NewAU(4)
+				if err != nil {
+					t.Fatal(err)
+				}
+				eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: 77})
+				if err != nil {
+					t.Fatal(err)
+				}
+				mon := core.NewGoodMonitor(au, g, eng.Config())
+				eng.Observe(mon)
+				check := func(at string) {
+					t.Helper()
+					if got, want := mon.Good(), au.GraphGood(g, eng.Config()); got != want {
+						t.Fatalf("%s: monitor Good()=%v, GraphGood=%v (bad=%d)",
+							at, got, want, mon.BadNodes())
+					}
+				}
+				check("initial")
+				for i := 0; i < 400; i++ {
+					if err := eng.Step(); err != nil {
+						t.Fatal(err)
+					}
+					check("step")
+					switch i {
+					case 150:
+						eng.InjectFaults(3)
+						check("burst")
+					case 250:
+						if err := eng.SetState(0, au.MustState(core.Turn{Level: 2, Faulty: true})); err != nil {
+							t.Fatal(err)
+						}
+						check("set-state")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestGoodMonitorReset pins Reset against a wholesale configuration rewrite.
+func TestGoodMonitorReset(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g, err := graph.RandomConnected(10, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, au, sim.Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := core.NewGoodMonitor(au, g, eng.Config())
+	cfg := eng.Config().Clone()
+	for v := range cfg {
+		cfg[v] = rng.Intn(au.NumStates())
+	}
+	mon.Reset(cfg)
+	if got, want := mon.Good(), au.GraphGood(g, cfg); got != want {
+		t.Fatalf("after Reset: Good()=%v, GraphGood=%v", got, want)
+	}
+	// A uniformly level-1 configuration is good: Reset must agree.
+	for v := range cfg {
+		cfg[v] = au.MustState(core.Turn{Level: 1})
+	}
+	mon.Reset(cfg)
+	if !mon.Good() || mon.BadNodes() != 0 {
+		t.Fatalf("uniform able configuration should be good (bad=%d)", mon.BadNodes())
+	}
+}

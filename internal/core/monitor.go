@@ -11,7 +11,9 @@ import (
 // invariants of Sec. 2.3.1 (out-protected nodes stay out-protected; a good
 // graph stays good) and — once the graph has become good — the AU task's
 // safety and liveness conditions. Attach it to a sim.Engine as a hook via
-// its Check method.
+// its Check method. It deliberately re-verifies the whole graph every step
+// (that is what makes it a verification oracle); production runs that only
+// need the stabilization verdict use the incremental GoodMonitor below.
 type Monitor struct {
 	au *AU
 	g  *graph.Graph
@@ -101,3 +103,135 @@ func (m *Monitor) Check(cfg sa.Config) error {
 	m.prevOutProt = outProt
 	return nil
 }
+
+// GoodMonitor incrementally tracks the AlgAU stabilization predicate
+// GraphGood. Instead of re-scanning every node after each step (O(n·Δ) per
+// check), it maintains per-node violation counters — unprotected incident
+// edges and faulty neighbors — and a global count of not-good nodes, updated
+// in O(deg v) per changed node. The stabilization check itself becomes O(1).
+//
+// It implements sim.ConfigObserver: register it on an engine with
+// Engine.Observe and it sees every node state change (steps, SetState,
+// InjectFaults). Good() then always agrees with au.GraphGood(g, cfg).
+type GoodMonitor struct {
+	au *AU
+	g  *graph.Graph
+
+	level  []Level // current level λ_v per node
+	faulty []bool  // current faulty flag per node
+	unprot []int32 // number of unprotected incident edges per node
+	fnbrs  []int32 // number of faulty neighbors per node
+	bad    int     // number of nodes that are not good
+}
+
+// NewGoodMonitor returns a monitor initialized from cfg (a full O(n·Δ) scan —
+// the last one the stabilization check needs).
+func NewGoodMonitor(au *AU, g *graph.Graph, cfg sa.Config) *GoodMonitor {
+	n := g.N()
+	m := &GoodMonitor{
+		au:     au,
+		g:      g,
+		level:  make([]Level, n),
+		faulty: make([]bool, n),
+		unprot: make([]int32, n),
+		fnbrs:  make([]int32, n),
+	}
+	m.Reset(cfg)
+	return m
+}
+
+// Reset recomputes all counters from cfg. Use it when the configuration was
+// rewritten wholesale outside the monitor's view.
+func (m *GoodMonitor) Reset(cfg sa.Config) {
+	for v := range cfg {
+		t := m.au.Turn(cfg[v])
+		m.level[v] = t.Level
+		m.faulty[v] = t.Faulty
+	}
+	m.bad = 0
+	for v := 0; v < m.g.N(); v++ {
+		var unprot, fnbrs int32
+		for _, u := range m.g.Neighbors(v) {
+			if !m.au.ls.Adjacent(m.level[v], m.level[u]) {
+				unprot++
+			}
+			if m.faulty[u] {
+				fnbrs++
+			}
+		}
+		m.unprot[v] = unprot
+		m.fnbrs[v] = fnbrs
+		if !m.nodeGood(v) {
+			m.bad++
+		}
+	}
+}
+
+// nodeGood mirrors AU.NodeGood over the counters: able, all incident edges
+// protected, no faulty neighbor.
+func (m *GoodMonitor) nodeGood(v int) bool {
+	return !m.faulty[v] && m.unprot[v] == 0 && m.fnbrs[v] == 0
+}
+
+// Apply implements sim.ConfigObserver: node v changed its state to q. The
+// update costs O(deg v) and keeps Good() consistent. Applying a sequence of
+// single-node changes in any order yields the counters of the final
+// configuration, so simultaneous updates may be fed one node at a time.
+func (m *GoodMonitor) Apply(v int, q sa.State) {
+	t := m.au.Turn(q)
+	oldL, oldF := m.level[v], m.faulty[v]
+	newL, newF := t.Level, t.Faulty
+	if newL == oldL && newF == oldF {
+		return
+	}
+	vWasGood := m.nodeGood(v)
+	var fdelta int32
+	if oldF != newF {
+		if newF {
+			fdelta = 1
+		} else {
+			fdelta = -1
+		}
+	}
+	var dunprot int32 // accumulated change to unprot[v]
+	for _, u := range m.g.Neighbors(v) {
+		uWasGood := m.nodeGood(u)
+		m.fnbrs[u] += fdelta
+		if newL != oldL {
+			oldP := m.au.ls.Adjacent(oldL, m.level[u])
+			newP := m.au.ls.Adjacent(newL, m.level[u])
+			if oldP && !newP {
+				m.unprot[u]++
+				dunprot++
+			} else if !oldP && newP {
+				m.unprot[u]--
+				dunprot--
+			}
+		}
+		if uGood := m.nodeGood(u); uGood != uWasGood {
+			if uGood {
+				m.bad--
+			} else {
+				m.bad++
+			}
+		}
+	}
+	m.level[v] = newL
+	m.faulty[v] = newF
+	m.unprot[v] += dunprot
+	if vGood := m.nodeGood(v); vGood != vWasGood {
+		if vGood {
+			m.bad--
+		} else {
+			m.bad++
+		}
+	}
+}
+
+// Good reports whether the graph is good (every node good) — the AlgAU
+// stabilization condition — in O(1).
+func (m *GoodMonitor) Good() bool { return m.bad == 0 }
+
+// BadNodes returns the current number of not-good nodes (a progress metric
+// for traces and campaigns).
+func (m *GoodMonitor) BadNodes() int { return m.bad }

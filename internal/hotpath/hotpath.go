@@ -1,0 +1,171 @@
+// Package hotpath defines the hot-path benchmark scenarios shared by the
+// go-test benchmarks (BenchmarkHotPath* at the repository root) and the
+// BENCH_hotpath.json generator (cmd/hotpathbench). Each builder returns a
+// ready-to-run benchmark closure over a scale-sweep-sized AlgAU instance, so
+// the same measurement runs under `go test -bench` and under
+// testing.Benchmark in the artifact tool.
+//
+// The scenarios pin the two tentpole properties of the simulation hot path:
+// the steady step loop is allocation-free, and the incremental stabilization
+// monitor (core.GoodMonitor) replaces the O(n·Δ) per-step GraphGood rescan
+// with O(|A_t|·Δ) bookkeeping — the full-scan variants exist solely to
+// measure that speedup.
+package hotpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/budget"
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/sim"
+)
+
+// Mode selects how a scenario checks the stabilization predicate.
+type Mode int
+
+const (
+	// Incremental uses core.GoodMonitor fed by the engine's observer hook:
+	// O(1) per check, O(deg v) per changed node.
+	Incremental Mode = iota
+	// FullScan re-evaluates au.GraphGood over the whole graph after every
+	// step — the pre-incremental behavior, kept for comparison.
+	FullScan
+)
+
+// String implements fmt.Stringer (used in benchmark sub-names).
+func (m Mode) String() string {
+	if m == FullScan {
+		return "fullscan"
+	}
+	return "incremental"
+}
+
+// The scale-sweep-shaped instance: the bounded-diameter family with D=4,
+// matching the campaign preset's `bounded` matrix.
+const diameterBound = 4
+
+func buildInstance(n int, seed int64) (*graph.Graph, *core.AU, error) {
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.BoundedDiameter(n, diameterBound, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	au, err := core.NewAU(diameterBound)
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, au, nil
+}
+
+// goodCond returns the stabilization condition for the mode, attaching a
+// monitor to the engine when incremental.
+func goodCond(mode Mode, au *core.AU, g *graph.Graph, eng *sim.Engine) func(*sim.Engine) bool {
+	if mode == FullScan {
+		return func(e *sim.Engine) bool { return au.GraphGood(g, e.Config()) }
+	}
+	mon := core.NewGoodMonitor(au, g, eng.Config())
+	eng.Observe(mon)
+	return func(*sim.Engine) bool { return mon.Good() }
+}
+
+// SteadyStep measures one engine step plus stabilization check on an
+// already-stabilized n-node instance under the synchronous scheduler — the
+// steady-state inner loop of every campaign run. It reports allocations;
+// the hot path must show 0 allocs/op.
+func SteadyStep(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := sim.New(g, au, sim.Options{Seed: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cond := goodCond(Incremental, au, g, eng)
+		if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+			if !cond(eng) {
+				b.Fatal("stabilized instance left the good set")
+			}
+		}
+	}
+}
+
+// Stabilize measures one full AlgAU stabilization from a random adversarial
+// configuration on an n-node instance under the synchronous scheduler, with
+// the stabilization predicate evaluated per the mode.
+func Stabilize(n int, mode Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		roundBudget := budget.AU(au.K())
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng, err := sim.New(g, au, sim.Options{Seed: int64(i)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r, err := eng.RunUntil(goodCond(mode, au, g, eng), roundBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+	}
+}
+
+// Recovery measures one fault-storm recovery: an n-node instance is
+// stabilized once, then each iteration injects faults random corruptions and
+// runs back to stabilization under the round-robin scheduler (n steps per
+// round — the regime where a per-step full-graph rescan is quadratic and
+// the incremental monitor is not).
+func Recovery(n, faults int, mode Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := sim.New(g, au, sim.Options{Seed: 3, Scheduler: sched.NewRoundRobin()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		roundBudget := budget.AU(au.K())
+		cond := goodCond(mode, au, g, eng)
+		if _, err := eng.RunUntil(cond, roundBudget); err != nil {
+			b.Fatal(err)
+		}
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.InjectFaults(faults)
+			r, err := eng.RunUntil(cond, roundBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+	}
+}
+
+// Name returns the canonical benchmark name of a scenario, mirrored by the
+// BenchmarkHotPath* sub-benchmarks and the JSON artifact.
+func Name(scenario string, n int, mode Mode) string {
+	return fmt.Sprintf("%s/n=%d/%s", scenario, n, mode)
+}

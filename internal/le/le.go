@@ -288,3 +288,14 @@ func Stable(states []restart.State[State]) bool {
 	}
 	return leaders == 1
 }
+
+// LocalStable is the node-local decomposition of Stable: ok reports whether
+// the node is outside Restart and in the verification stage, and leader
+// whether it currently counts as a leader. The configuration is stable iff
+// ok holds for every node and the leader count is exactly one — the form
+// incremental (dirty-set) stability checkers evaluate with an O(1) global
+// check.
+func LocalStable(s restart.State[State]) (ok, leader bool) {
+	ok = !s.InRestart && s.Alg.Stage == Verify
+	return ok, ok && s.Alg.Leader
+}

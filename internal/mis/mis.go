@@ -298,6 +298,33 @@ func Stable(g *graph.Graph, states []restart.State[State]) bool {
 	return g.IsMaximalIndependentSet(in)
 }
 
+// LocalStable is the node-local decomposition of Stable: it reports whether
+// v is decided and satisfies the MIS condition in its neighborhood — an IN
+// node has no decided IN neighbor, an OUT node has at least one. The
+// configuration is stable iff LocalStable holds for every node, which is
+// what incremental (dirty-set) stability checkers evaluate: a step can only
+// flip LocalStable of the changed nodes and their neighbors.
+func LocalStable(g *graph.Graph, states []restart.State[State], v graph.NodeID) bool {
+	inSet, ok := Output(states[v])
+	if !ok {
+		return false
+	}
+	if inSet {
+		for _, u := range g.Neighbors(v) {
+			if in, ok := Output(states[u]); ok && in {
+				return false
+			}
+		}
+		return true
+	}
+	for _, u := range g.Neighbors(v) {
+		if in, ok := Output(states[u]); ok && in {
+			return true
+		}
+	}
+	return false
+}
+
 // InSet returns the nodes currently marked IN.
 func InSet(states []restart.State[State]) []graph.NodeID {
 	var in []graph.NodeID

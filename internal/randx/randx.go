@@ -1,0 +1,36 @@
+// Package randx holds small allocation-conscious randomness helpers shared
+// by the simulation engines.
+package randx
+
+import "math/rand"
+
+// PartialShuffle maintains *buf as a permutation of 0..n-1 and runs the
+// first count swaps of a Fisher–Yates pass over it, returning the count
+// distinct elements now at the front. count is clamped to [0, n].
+//
+// It replaces rng.Perm(n)[:count] on hot paths: repeated calls reuse the
+// buffer (zero allocations in steady state) and cost O(count) instead of
+// O(n). The buffer stays a valid permutation across calls, so any prefix is
+// always a uniform sample without replacement. The returned slice aliases
+// *buf and is valid until the next call with the same buffer.
+func PartialShuffle(buf *[]int, n, count int, rng *rand.Rand) []int {
+	if count < 0 {
+		count = 0
+	}
+	if count > n {
+		count = n
+	}
+	b := *buf
+	if len(b) != n {
+		b = make([]int, n)
+		for i := range b {
+			b[i] = i
+		}
+		*buf = b
+	}
+	for i := 0; i < count; i++ {
+		j := i + rng.Intn(n-i)
+		b[i], b[j] = b[j], b[i]
+	}
+	return b[:count]
+}

@@ -1,0 +1,65 @@
+package randx_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/randx"
+)
+
+func TestPartialShuffleDistinctAndClamped(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var buf []int
+	for _, count := range []int{-3, 0, 1, 4, 10, 15} {
+		got := randx.PartialShuffle(&buf, 10, count, rng)
+		want := count
+		if want < 0 {
+			want = 0
+		}
+		if want > 10 {
+			want = 10
+		}
+		if len(got) != want {
+			t.Fatalf("count %d: got %d elements, want %d", count, len(got), want)
+		}
+		seen := make(map[int]bool, len(got))
+		for _, v := range got {
+			if v < 0 || v >= 10 {
+				t.Fatalf("count %d: element %d out of range", count, v)
+			}
+			if seen[v] {
+				t.Fatalf("count %d: duplicate element %d", count, v)
+			}
+			seen[v] = true
+		}
+		// The buffer must remain a permutation of 0..9 across calls.
+		perm := make(map[int]bool, 10)
+		for _, v := range buf {
+			perm[v] = true
+		}
+		if len(buf) != 10 || len(perm) != 10 {
+			t.Fatalf("count %d: buffer is not a permutation: %v", count, buf)
+		}
+	}
+}
+
+func TestPartialShuffleDeterministic(t *testing.T) {
+	draw := func() [][]int {
+		rng := rand.New(rand.NewSource(99))
+		var buf []int
+		var out [][]int
+		for i := 0; i < 5; i++ {
+			got := randx.PartialShuffle(&buf, 20, 6, rng)
+			out = append(out, append([]int(nil), got...))
+		}
+		return out
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("draw %d differs: %v vs %v", i, a[i], b[i])
+			}
+		}
+	}
+}

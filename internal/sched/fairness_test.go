@@ -95,3 +95,68 @@ func TestLaggardExactlyOncePerPeriod(t *testing.T) {
 		}
 	}
 }
+
+// TestLaggardSingleNodeLiveness is the regression test for the n==1 liveness
+// bug: when the victim is the only node and period > 1, the scheduler used to
+// emit empty activation sets on period-1 of every period steps, so rounds
+// never completed and round-bounded runs spun forever. Every step must
+// activate the lone node.
+func TestLaggardSingleNodeLiveness(t *testing.T) {
+	s := sched.NewLaggard(0, 4)
+	tracker := sched.NewRoundTracker(1)
+	for step := 0; step < 20; step++ {
+		act := s.Activations(step, 1)
+		if len(act) == 0 {
+			t.Fatalf("step %d: empty activation set with a single node", step)
+		}
+		if len(act) != 1 || act[0] != 0 {
+			t.Fatalf("step %d: activations = %v, want [0]", step, act)
+		}
+		tracker.Observe(act)
+	}
+	if tracker.Rounds() != 20 {
+		t.Errorf("rounds = %d, want 20 (one per step)", tracker.Rounds())
+	}
+}
+
+// TestRandomSubsetGapSurvivesResize is the regression test for the
+// starvation-tracking reset: re-using a scheduler with a different node count
+// used to rebuild the last-activation table seeded at the current step,
+// allowing a node to legally starve for up to ~2*maxGap steps across the
+// boundary. Gap state must carry over, so the maxGap bound holds across the
+// resize.
+func TestRandomSubsetGapSurvivesResize(t *testing.T) {
+	const maxGap = 4
+	// p=0: nodes are only ever activated by the force rule (or the
+	// non-empty-step fallback), which makes the gap bound sharp.
+	s := sched.NewRandomSubset(0, maxGap, rand.New(rand.NewSource(11)))
+	last := make(map[int]int)
+	check := func(step, n int) {
+		for _, v := range s.Activations(step, n) {
+			last[v] = step
+		}
+		for v := 0; v < n; v++ {
+			prev, seen := last[v]
+			if !seen {
+				continue
+			}
+			if gap := step - prev; gap > maxGap {
+				t.Fatalf("node %d starved %d steps at step %d across resize (maxGap %d)", v, gap, step, maxGap)
+			}
+		}
+	}
+	step := 0
+	for ; step < 10; step++ {
+		check(step, 3)
+	}
+	// Grow, shrink, regrow: none of these may reset accumulated gaps.
+	for ; step < 20; step++ {
+		check(step, 5)
+	}
+	for ; step < 30; step++ {
+		check(step, 3)
+	}
+	for ; step < 45; step++ {
+		check(step, 5)
+	}
+}

@@ -87,11 +87,12 @@ func NewRandomSubset(p float64, maxGap int, rng *rand.Rand) *RandomSubset {
 
 // Activations implements Scheduler.
 func (s *RandomSubset) Activations(t int, n int) []int {
-	if len(s.last) != n {
-		s.last = make([]int, n)
-		for i := range s.last {
-			s.last[i] = t
-		}
+	// Grow the starvation-gap state without wiping history: nodes first
+	// seen now start their gap at t, existing nodes keep their recorded
+	// last activation. Entries beyond n are retained so a shrink-and-regrow
+	// of the node count cannot reset a node's gap either.
+	for len(s.last) < n {
+		s.last = append(s.last, t)
 	}
 	s.buf = s.buf[:0]
 	for v := 0; v < n; v++ {
@@ -140,6 +141,13 @@ func (s *Laggard) Activations(t int, n int) []int {
 			continue
 		}
 		s.buf = append(s.buf, v)
+	}
+	if len(s.buf) == 0 {
+		// n == 1 with period > 1: the victim is the only node, and an empty
+		// activation set would stall the round operator forever. Liveness
+		// demands a non-empty step, so the schedule degenerates to
+		// activating the lone node every step.
+		s.buf = append(s.buf, s.victim%n)
 	}
 	return s.buf
 }
@@ -197,11 +205,26 @@ func NewPermuted(rng *rand.Rand) *Permuted { return &Permuted{rng: rng} }
 
 // Activations implements Scheduler.
 func (s *Permuted) Activations(t int, n int) []int {
-	if t%n == 0 || len(s.perm) != n {
-		s.perm = s.rng.Perm(n)
+	if len(s.perm) != n {
+		s.perm = make([]int, n)
+		for i := range s.perm {
+			s.perm[i] = i
+		}
+		s.reshuffle()
+	} else if t%n == 0 {
+		s.reshuffle()
 	}
 	s.buf[0] = s.perm[t%n]
 	return s.buf[:]
+}
+
+// reshuffle runs a Fisher–Yates pass over the persistent permutation buffer,
+// so steady-state operation allocates nothing.
+func (s *Permuted) reshuffle() {
+	for i := len(s.perm) - 1; i > 0; i-- {
+		j := s.rng.Intn(i + 1)
+		s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+	}
 }
 
 // Name implements Scheduler.
@@ -210,9 +233,15 @@ func (s *Permuted) Name() string { return "permuted" }
 // RoundTracker incrementally computes the round operator ϱ and the round
 // boundaries R(0) = 0 < R(1) < R(2) < ... from an observed activation
 // sequence. Feed it each step's activation set in order.
+//
+// Tracking is allocation-free on the steady path: instead of a rebuilt
+// pending set per round it stamps each node with the round in which it was
+// last seen, so a round completes when the per-round seen counter reaches n.
 type RoundTracker struct {
 	n         int
-	pending   map[int]struct{}
+	seen      []int // seen[v] = stamp of the round v was last activated in
+	stamp     int   // current round's stamp (rounds + 1; seen is zeroed once)
+	remaining int   // nodes not yet activated in the current round
 	rounds    int
 	boundary  []int // boundary[i] = R(i)
 	stepsSeen int
@@ -220,15 +249,12 @@ type RoundTracker struct {
 
 // NewRoundTracker returns a tracker for n nodes. R(0) = 0 is implicit.
 func NewRoundTracker(n int) *RoundTracker {
-	t := &RoundTracker{n: n, boundary: []int{0}}
-	t.resetPending()
-	return t
-}
-
-func (t *RoundTracker) resetPending() {
-	t.pending = make(map[int]struct{}, t.n)
-	for v := 0; v < t.n; v++ {
-		t.pending[v] = struct{}{}
+	return &RoundTracker{
+		n:         n,
+		seen:      make([]int, n),
+		stamp:     1,
+		remaining: n,
+		boundary:  []int{0},
 	}
 }
 
@@ -236,13 +262,17 @@ func (t *RoundTracker) resetPending() {
 // once per step, in order.
 func (t *RoundTracker) Observe(activated []int) {
 	for _, v := range activated {
-		delete(t.pending, v)
+		if t.seen[v] != t.stamp {
+			t.seen[v] = t.stamp
+			t.remaining--
+		}
 	}
 	t.stepsSeen++
-	if len(t.pending) == 0 {
+	if t.remaining == 0 {
 		t.rounds++
 		t.boundary = append(t.boundary, t.stepsSeen)
-		t.resetPending()
+		t.stamp++
+		t.remaining = t.n
 	}
 }
 

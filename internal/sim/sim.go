@@ -4,7 +4,11 @@
 // and all activated nodes update simultaneously to produce C_{t+1}.
 //
 // The engine is deterministic given its seed, tracks rounds via the round
-// operator ϱ, and exposes hooks for invariant checking and tracing.
+// operator ϱ, and exposes hooks for invariant checking and tracing. Its hot
+// path is incremental and allocation-free: steps stage updates in reusable
+// scratch (no per-step configuration copy), and registered ConfigObservers
+// receive each node state change so stabilization predicates are maintained
+// in O(|A_t|·Δ) per step rather than rescanned over the whole graph.
 package sim
 
 import (
@@ -13,6 +17,7 @@ import (
 	"math/rand"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/randx"
 	"thinunison/internal/sa"
 	"thinunison/internal/sched"
 )
@@ -25,6 +30,20 @@ var ErrBudgetExhausted = errors.New("sim: round budget exhausted before conditio
 // invariants; returning an error aborts the run.
 type Hook func(e *Engine) error
 
+// ConfigObserver is notified of every individual node state change the
+// engine performs — scheduler steps, SetState, and InjectFaults alike. It is
+// the incremental counterpart of a post-step Hook: observers such as
+// core.GoodMonitor maintain violation counters in O(deg v) per change, so
+// stabilization predicates need no per-step full-graph rescan.
+//
+// During a step, changes of the simultaneously updating activation set are
+// fed one node at a time; observers must tolerate that (counter maintenance
+// that is order-independent over single-node updates, as GoodMonitor's is).
+type ConfigObserver interface {
+	// Apply records that node v now holds state q.
+	Apply(v int, q sa.State)
+}
+
 // Engine drives one execution of an sa.Algorithm.
 type Engine struct {
 	g     *graph.Graph
@@ -33,13 +52,15 @@ type Engine struct {
 	rng   *rand.Rand
 
 	cfg     sa.Config
-	next    sa.Config
+	scratch sa.Config // per-step new states of the activated set
 	signal  sa.Signal
 	step    int
 	tracker *sched.RoundTracker
 	hooks   []Hook
+	obs     ConfigObserver
 
 	lastActivated []int
+	faultBuf      []int // reusable permutation buffer for InjectFaults
 }
 
 // Options configures an Engine.
@@ -88,7 +109,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		sched:   s,
 		rng:     rng,
 		cfg:     cfg,
-		next:    make(sa.Config, g.N()),
+		scratch: make(sa.Config, 0, g.N()),
 		signal:  sa.NewSignal(alg.NumStates()),
 		tracker: sched.NewRoundTracker(g.N()),
 	}, nil
@@ -96,6 +117,11 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 
 // AddHook registers a post-step hook.
 func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
+
+// Observe registers the engine's configuration observer (at most one; nil
+// unregisters). The observer must already reflect the engine's current
+// configuration — construct it from Config(), e.g. core.NewGoodMonitor.
+func (e *Engine) Observe(o ConfigObserver) { e.obs = o }
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -117,6 +143,9 @@ func (e *Engine) SetState(v int, q sa.State) error {
 		return fmt.Errorf("sim: state %d out of range", q)
 	}
 	e.cfg[v] = q
+	if e.obs != nil {
+		e.obs.Apply(v, q)
+	}
 	return nil
 }
 
@@ -124,31 +153,47 @@ func (e *Engine) SetState(v int, q sa.State) error {
 // states, returning the affected nodes. It models a burst of transient
 // faults mid-execution. The count is clamped to [0, n]: negative counts
 // inject nothing rather than panicking.
+//
+// The victims are drawn by a partial Fisher–Yates shuffle over a reusable
+// buffer, so repeated bursts allocate nothing and cost O(count) rather than
+// O(n). The returned slice is owned by the engine and valid until the next
+// call.
 func (e *Engine) InjectFaults(count int) []int {
-	if count < 0 {
-		count = 0
-	}
-	if count > e.g.N() {
-		count = e.g.N()
-	}
-	perm := e.rng.Perm(e.g.N())[:count]
-	for _, v := range perm {
+	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
+	for _, v := range hit {
 		e.cfg[v] = e.rng.Intn(e.alg.NumStates())
+		if e.obs != nil {
+			e.obs.Apply(v, e.cfg[v])
+		}
 	}
-	return perm
+	return hit
 }
 
 // Step executes one step: it queries the scheduler for A_t, computes the
 // signal of each activated node under C_t, applies δ simultaneously, and
 // advances to C_{t+1}.
+//
+// The hot path is allocation-free: new states of the activation set are
+// staged in a reusable scratch slice (no O(n) configuration copy per step)
+// and written back only after every activated node has read C_t, preserving
+// the paper's simultaneous-update semantics.
 func (e *Engine) Step() error {
 	activated := e.sched.Activations(e.step, e.g.N())
-	copy(e.next, e.cfg)
+	e.scratch = e.scratch[:0]
 	for _, v := range activated {
 		e.SignalOf(v, &e.signal)
-		e.next[v] = e.alg.Transition(e.cfg[v], e.signal, e.rng)
+		e.scratch = append(e.scratch, e.alg.Transition(e.cfg[v], e.signal, e.rng))
 	}
-	e.cfg, e.next = e.next, e.cfg
+	for i, v := range activated {
+		q := e.scratch[i]
+		if q == e.cfg[v] {
+			continue
+		}
+		e.cfg[v] = q
+		if e.obs != nil {
+			e.obs.Apply(v, q)
+		}
+	}
 	e.tracker.Observe(activated)
 	e.lastActivated = activated
 	e.step++
@@ -210,15 +255,17 @@ func (e *Engine) RunUntil(cond func(e *Engine) bool, maxRounds int) (int, error)
 			return e.tracker.Rounds() - start, nil
 		}
 	}
-	return maxRounds, ErrBudgetExhausted
+	return e.tracker.Rounds() - start, ErrBudgetExhausted
 }
 
 // StabilizationResult reports the outcome of RunToStabilization.
 type StabilizationResult struct {
 	// Rounds is the number of rounds until the stability condition first
-	// held (the paper's stabilization time).
+	// held (the paper's stabilization time), counted from the call. On
+	// error paths it reports the rounds actually consumed by the call.
 	Rounds int
-	// Steps is the corresponding number of scheduler steps.
+	// Steps is the corresponding number of scheduler steps, counted from
+	// the call. On error paths it reports the steps actually consumed.
 	Steps int
 }
 
@@ -226,19 +273,29 @@ type StabilizationResult struct {
 // holding for confirmRounds further rounds (self-stabilization demands
 // closure, not just a lucky snapshot). If the condition is violated during
 // confirmation the search resumes. Returns the stabilization round count.
+// Every path — success, step error, budget exhaustion — reports the actual
+// progress made; the round budget never goes negative across a failed
+// confirmation.
 func (e *Engine) RunToStabilization(cond func(e *Engine) bool, confirmRounds, maxRounds int) (StabilizationResult, error) {
 	start := e.tracker.Rounds()
+	startSteps := e.step
+	progress := func() StabilizationResult {
+		return StabilizationResult{Rounds: e.tracker.Rounds() - start, Steps: e.step - startSteps}
+	}
 	for {
-		r, err := e.RunUntil(cond, maxRounds-(e.tracker.Rounds()-start))
-		if err != nil {
-			return StabilizationResult{Rounds: r}, err
+		remaining := maxRounds - (e.tracker.Rounds() - start)
+		if remaining < 0 {
+			remaining = 0 // confirmation steps may have consumed rounds past the budget
+		}
+		if _, err := e.RunUntil(cond, remaining); err != nil {
+			return progress(), err
 		}
 		hitRounds := e.tracker.Rounds()
 		hitSteps := e.step
 		ok := true
 		for e.tracker.Rounds()-hitRounds < confirmRounds {
 			if err := e.Step(); err != nil {
-				return StabilizationResult{}, err
+				return progress(), err
 			}
 			if !cond(e) {
 				ok = false
@@ -246,10 +303,7 @@ func (e *Engine) RunToStabilization(cond func(e *Engine) bool, confirmRounds, ma
 			}
 		}
 		if ok {
-			return StabilizationResult{Rounds: hitRounds - start, Steps: hitSteps}, nil
-		}
-		if e.tracker.Rounds()-start >= maxRounds {
-			return StabilizationResult{Rounds: maxRounds}, ErrBudgetExhausted
+			return StabilizationResult{Rounds: hitRounds - start, Steps: hitSteps - startSteps}, nil
 		}
 	}
 }

@@ -1,0 +1,106 @@
+package sim_test
+
+// Regression tests for RunToStabilization result reporting: every path —
+// success, step error during confirmation, budget exhaustion, and a failed
+// confirmation that overruns the round budget — must report the progress
+// actually made, and the remaining budget handed to the inner search must
+// never go negative.
+
+import (
+	"errors"
+	"testing"
+
+	"thinunison/internal/sa"
+	"thinunison/internal/sim"
+)
+
+func TestRunToStabilizationStepErrorReportsProgress(t *testing.T) {
+	g := mustPath(t, 4)
+	eng, err := sim.New(g, flood{}, sim.Options{Initial: sa.Config{1, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errHook := errors.New("hook failure")
+	eng.AddHook(func(e *sim.Engine) error {
+		if e.StepCount() == 5 {
+			return errHook
+		}
+		return nil
+	})
+	// Flood stabilizes (all nodes infected) after 3 synchronous rounds; the
+	// hook fails at step 5, i.e. during the confirmation phase.
+	res, err := eng.RunToStabilization(func(e *sim.Engine) bool {
+		return e.Config().IsOutputConfig(flood{}) && e.Config()[3] == 1
+	}, 10, 100)
+	if !errors.Is(err, errHook) {
+		t.Fatalf("err = %v, want the hook failure", err)
+	}
+	if res.Rounds != 5 || res.Steps != 5 {
+		t.Errorf("result = %+v, want progress Rounds=5 Steps=5", res)
+	}
+}
+
+func TestRunToStabilizationBudgetExhaustionReportsProgress(t *testing.T) {
+	g := mustPath(t, 4)
+	eng, err := sim.New(g, flood{}, sim.Options{Initial: sa.Config{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The condition never holds: flood never reaches state 1 from all zeros.
+	res, err := eng.RunToStabilization(func(e *sim.Engine) bool {
+		return e.Config()[0] == 1
+	}, 3, 7)
+	if !errors.Is(err, sim.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Rounds != 7 || res.Steps != 7 {
+		t.Errorf("result = %+v, want Rounds=7 Steps=7 (the budget was fully consumed)", res)
+	}
+}
+
+func TestRunToStabilizationFailedConfirmationPastBudget(t *testing.T) {
+	g := mustPath(t, 4)
+	eng, err := sim.New(g, flood{}, sim.Options{Initial: sa.Config{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scripted condition: true at entry, true after the first confirmation
+	// step, false afterwards. With maxRounds=1 the two confirmation rounds
+	// overrun the budget, which used to drive RunUntil with a negative
+	// remaining budget and yield a negative round count.
+	script := []bool{true, true, false}
+	calls := 0
+	cond := func(*sim.Engine) bool {
+		if calls < len(script) {
+			v := script[calls]
+			calls++
+			return v
+		}
+		return false
+	}
+	res, err := eng.RunToStabilization(cond, 5, 1)
+	if !errors.Is(err, sim.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if res.Rounds < 0 || res.Steps < 0 {
+		t.Fatalf("negative progress reported: %+v", res)
+	}
+	if res.Rounds != 2 || res.Steps != 2 {
+		t.Errorf("result = %+v, want the 2 confirmation rounds/steps actually consumed", res)
+	}
+}
+
+func TestRunUntilZeroBudgetReportsZeroRounds(t *testing.T) {
+	g := mustPath(t, 4)
+	eng, err := sim.New(g, flood{}, sim.Options{Initial: sa.Config{0, 0, 0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := eng.RunUntil(func(*sim.Engine) bool { return false }, 0)
+	if !errors.Is(err, sim.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if r != 0 {
+		t.Errorf("rounds = %d, want 0 (no step was taken)", r)
+	}
+}

@@ -124,3 +124,54 @@ func TestLog2(t *testing.T) {
 		}
 	}
 }
+
+// TestQuantileEdgeCases pins the empty, single-sample, extreme-q and
+// interpolation behavior of Quantile.
+func TestQuantileEdgeCases(t *testing.T) {
+	if got := stats.Quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty sample: %v, want 0", got)
+	}
+	if got := stats.Quantile([]float64{42}, 0); got != 42 {
+		t.Errorf("single sample q=0: %v, want 42", got)
+	}
+	if got := stats.Quantile([]float64{42}, 1); got != 42 {
+		t.Errorf("single sample q=1: %v, want 42", got)
+	}
+	sorted := []float64{1, 2, 3, 4}
+	if got := stats.Quantile(sorted, 0); got != 1 {
+		t.Errorf("q=0: %v, want the minimum 1", got)
+	}
+	if got := stats.Quantile(sorted, 1); got != 4 {
+		t.Errorf("q=1: %v, want the maximum 4", got)
+	}
+	if got := stats.Quantile(sorted, 0.5); got != 2.5 {
+		t.Errorf("q=0.5: %v, want interpolated 2.5", got)
+	}
+	if got := stats.Quantile([]float64{10, 20}, 0.25); got != 12.5 {
+		t.Errorf("q=0.25 over [10,20]: %v, want 12.5", got)
+	}
+	// Exact grid point: no interpolation.
+	if got := stats.Quantile([]float64{1, 2, 3}, 0.5); got != 2 {
+		t.Errorf("q=0.5 over [1,2,3]: %v, want 2", got)
+	}
+}
+
+// TestSummarizeEdgeCases pins Summarize on empty and single samples.
+func TestSummarizeEdgeCases(t *testing.T) {
+	if z := stats.Summarize(nil); z != (stats.Summary{}) {
+		t.Errorf("empty sample: %+v, want the zero Summary", z)
+	}
+	s := stats.Summarize([]float64{7})
+	if s.N != 1 || s.Min != 7 || s.Max != 7 || s.Mean != 7 || s.Median != 7 || s.P95 != 7 {
+		t.Errorf("single sample: %+v, want all order statistics equal 7", s)
+	}
+	if s.StdDev != 0 {
+		t.Errorf("single sample StdDev = %v, want 0", s.StdDev)
+	}
+	// Summarize must not mutate its input.
+	in := []float64{3, 1, 2}
+	stats.Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}

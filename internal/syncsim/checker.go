@@ -1,0 +1,142 @@
+package syncsim
+
+import "thinunison/internal/graph"
+
+// Checker incrementally evaluates a stability predicate that decomposes into
+// node-local conditions, the way the MIS and LE output conditions do: the
+// configuration is stable iff every node's local check holds (AllOK), with
+// an optional integer weight summed over nodes for residual global
+// conditions such as LE's "exactly one leader" (Sum).
+//
+// Instead of re-evaluating all n nodes after every step (O(n·Δ) per check),
+// Recheck re-evaluates only the dirty set — nodes whose state changed plus
+// their neighbors, the only nodes whose local check can have flipped — so
+// per-step cost is proportional to the change footprint, and the stability
+// check itself is O(1).
+//
+// eval must be a pure function of the current configuration; re-evaluating
+// an unchanged node must return the same result (Recheck is idempotent).
+type Checker struct {
+	g     *graph.Graph
+	eval  func(v int) (ok bool, weight int)
+	ok    []bool
+	wt    []int
+	notOK int
+	sum   int
+	mark  []int // dedup stamps for the dirty set
+	stamp int
+}
+
+// NewChecker returns a checker over g; eval(v) reports the node-local
+// condition and weight of v. The constructor runs one full evaluation — the
+// last full scan the stability check needs.
+func NewChecker(g *graph.Graph, eval func(v int) (ok bool, weight int)) *Checker {
+	c := &Checker{
+		g:    g,
+		eval: eval,
+		ok:   make([]bool, g.N()),
+		wt:   make([]int, g.N()),
+		mark: make([]int, g.N()),
+	}
+	c.RecheckAll()
+	return c
+}
+
+// RecheckAll re-evaluates every node (used at construction and after
+// wholesale state rewrites).
+func (c *Checker) RecheckAll() {
+	c.notOK = 0
+	c.sum = 0
+	for v := 0; v < c.g.N(); v++ {
+		ok, w := c.eval(v)
+		c.ok[v] = ok
+		c.wt[v] = w
+		if !ok {
+			c.notOK++
+		}
+		c.sum += w
+	}
+}
+
+// Recheck re-evaluates the dirty set of the given changed nodes: each
+// changed node and its neighbors, deduplicated. Passing a node that did not
+// actually change is harmless.
+func (c *Checker) Recheck(changed []int) {
+	c.stamp++
+	for _, v := range changed {
+		c.recheckNode(v)
+		for _, u := range c.g.Neighbors(v) {
+			c.recheckNode(u)
+		}
+	}
+}
+
+func (c *Checker) recheckNode(v int) {
+	if c.mark[v] == c.stamp {
+		return
+	}
+	c.mark[v] = c.stamp
+	ok, w := c.eval(v)
+	if ok != c.ok[v] {
+		c.ok[v] = ok
+		if ok {
+			c.notOK--
+		} else {
+			c.notOK++
+		}
+	}
+	c.sum += w - c.wt[v]
+	c.wt[v] = w
+}
+
+// AllOK reports whether every node's local condition holds, in O(1).
+func (c *Checker) AllOK() bool { return c.notOK == 0 }
+
+// Sum returns the current total weight, in O(1).
+func (c *Checker) Sum() int { return c.sum }
+
+// Projected couples a Checker with a cached per-node projection of another
+// engine's states — the synchronizer drivers use it to evaluate a simulated
+// program's stability over the π(Cur) component of the product states. Only
+// the changed nodes are re-projected on Update, so the per-step check stays
+// allocation-free.
+type Projected[S, T comparable] struct {
+	pi   []T
+	view func() []S
+	proj func(S) T
+	chk  *Checker
+}
+
+// NewProjected builds the projection pi[v] = proj(view()[v]) over all nodes
+// and a Checker whose eval sees the projected states.
+func NewProjected[S, T comparable](g *graph.Graph, view func() []S, proj func(S) T,
+	eval func(pi []T, v int) (ok bool, weight int)) *Projected[S, T] {
+	p := &Projected[S, T]{
+		pi:   make([]T, g.N()),
+		view: view,
+		proj: proj,
+	}
+	for v, s := range view() {
+		p.pi[v] = proj(s)
+	}
+	p.chk = NewChecker(g, func(v int) (bool, int) { return eval(p.pi, v) })
+	return p
+}
+
+// Update re-projects the changed nodes and rechecks their dirty set. Feed it
+// the engine's Changed slice after each step and the hit list after a fault
+// injection.
+func (p *Projected[S, T]) Update(changed []int) {
+	states := p.view()
+	for _, v := range changed {
+		p.pi[v] = p.proj(states[v])
+	}
+	p.chk.Recheck(changed)
+}
+
+// Checker returns the underlying checker (for AllOK/Sum verdicts).
+func (p *Projected[S, T]) Checker() *Checker { return p.chk }
+
+// States returns the current projection. The slice is owned by the
+// Projected value; treat it as read-only.
+func (p *Projected[S, T]) States() []T { return p.pi }

@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/randx"
 )
 
 // StepFunc is a node program: given the node's current state and the
@@ -28,13 +29,15 @@ type StepFunc[S comparable] func(self S, sensed []S, rng *rand.Rand) S
 
 // Engine runs a synchronous execution of a node program on a graph.
 type Engine[S comparable] struct {
-	g      *graph.Graph
-	step   StepFunc[S]
-	states []S
-	next   []S
-	rng    *rand.Rand
-	round  int
-	buf    []S
+	g        *graph.Graph
+	step     StepFunc[S]
+	states   []S
+	next     []S
+	rng      *rand.Rand
+	round    int
+	buf      []S
+	changed  []int // nodes whose state changed in the last round
+	faultBuf []int // reusable permutation buffer for InjectFaults
 }
 
 // New returns an engine with the given initial configuration.
@@ -60,10 +63,15 @@ func New[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64
 func (e *Engine[S]) Graph() *graph.Graph { return e.g }
 
 // Round executes one synchronous round: every node senses the current
-// configuration and all nodes update simultaneously.
+// configuration and all nodes update simultaneously. Nodes whose state
+// actually changed are recorded for Changed.
 func (e *Engine[S]) Round() {
+	e.changed = e.changed[:0]
 	for v := 0; v < e.g.N(); v++ {
 		e.next[v] = e.step(e.states[v], e.sense(v), e.rng)
+		if e.next[v] != e.states[v] {
+			e.changed = append(e.changed, v)
+		}
 	}
 	e.states, e.next = e.next, e.states
 	e.round++
@@ -100,14 +108,11 @@ func (e *Engine[S]) Steps() int { return e.round }
 // InjectFaults corrupts count distinct random nodes (clamped to [0, n]) to
 // states drawn from random, returning the affected nodes. It models a burst
 // of transient faults mid-execution; self-stabilization guarantees recovery.
+// The victims are drawn by a partial Fisher–Yates shuffle over a reusable
+// buffer, so repeated bursts allocate nothing; the returned slice is owned
+// by the engine and valid until the next call.
 func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int {
-	if count < 0 {
-		count = 0
-	}
-	if count > e.g.N() {
-		count = e.g.N()
-	}
-	hit := e.rng.Perm(e.g.N())[:count]
+	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
 	for _, v := range hit {
 		e.states[v] = random(e.rng)
 	}
@@ -123,6 +128,17 @@ func (e *Engine[S]) States() []S {
 	copy(out, e.states)
 	return out
 }
+
+// View returns the engine-owned current configuration without copying. The
+// slice must be treated as read-only and is only valid until the next Round,
+// SetState or InjectFaults. It exists so per-step stability checks stay
+// allocation-free.
+func (e *Engine[S]) View() []S { return e.states }
+
+// Changed returns the nodes whose state changed in the most recent Round.
+// The slice is owned by the engine and valid until the next Round. It is
+// the dirty set that incremental stability checks recheck.
+func (e *Engine[S]) Changed() []int { return e.changed }
 
 // SetState overwrites the state of node v (transient fault injection).
 func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }

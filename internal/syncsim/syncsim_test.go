@@ -140,3 +140,39 @@ func TestDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestInjectFaultsDeterministic pins the partial-Fisher–Yates sampler: equal
+// seeds corrupt identical node sets to identical states across bursts.
+func TestInjectFaultsDeterministic(t *testing.T) {
+	g, err := graph.Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(self int, _ []int, _ *rand.Rand) int { return self }
+	random := func(rng *rand.Rand) int { return rng.Intn(5) }
+	mk := func() *syncsim.Engine[int] {
+		e, err := syncsim.New(g, step, make([]int, g.N()), 13)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := mk(), mk()
+	for burst := 0; burst < 4; burst++ {
+		ha := append([]int(nil), a.InjectFaults(3, random)...)
+		hb := append([]int(nil), b.InjectFaults(3, random)...)
+		if len(ha) != 3 {
+			t.Fatalf("burst %d: hit %d nodes, want 3", burst, len(ha))
+		}
+		for i := range ha {
+			if ha[i] != hb[i] {
+				t.Fatalf("burst %d: corrupted sets differ: %v vs %v", burst, ha, hb)
+			}
+		}
+		for v := 0; v < g.N(); v++ {
+			if a.State(v) != b.State(v) {
+				t.Fatalf("burst %d: states diverged at node %d", burst, v)
+			}
+		}
+	}
+}

@@ -104,6 +104,7 @@ type Unison struct {
 	au  *core.AU
 	g   *Graph
 	eng *sim.Engine
+	mon *core.GoodMonitor
 }
 
 // NewUnison starts AlgAU on g from an adversarial random configuration.
@@ -120,7 +121,12 @@ func NewUnison(g *Graph, opts ...Option) (*Unison, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Unison{au: au, g: g, eng: eng}, nil
+	// The incremental monitor keeps the stabilization predicate O(1) per
+	// check: the engine streams every node state change into it, so no step
+	// ever triggers a full-graph GraphGood rescan.
+	mon := core.NewGoodMonitor(au, g, eng.Config())
+	eng.Observe(mon)
+	return &Unison{au: au, g: g, eng: eng, mon: mon}, nil
 }
 
 // D returns the diameter bound.
@@ -140,15 +146,16 @@ func (u *Unison) Step() error { return u.eng.Step() }
 func (u *Unison) Rounds() int { return u.eng.Rounds() }
 
 // Stabilized reports whether the clock has stabilized (the graph is good:
-// from here on, safety and liveness of the AU task hold forever).
+// from here on, safety and liveness of the AU task hold forever). The check
+// is O(1): the incremental monitor tracks violations as the engine runs.
 func (u *Unison) Stabilized() bool {
-	return u.au.GraphGood(u.g, u.eng.Config())
+	return u.mon.Good()
 }
 
 // RunUntilStabilized runs until stabilization, returning the rounds taken.
 func (u *Unison) RunUntilStabilized(maxRounds int) (int, error) {
-	return u.eng.RunUntil(func(e *sim.Engine) bool {
-		return u.au.GraphGood(u.g, e.Config())
+	return u.eng.RunUntil(func(*sim.Engine) bool {
+		return u.mon.Good()
 	}, maxRounds)
 }
 
@@ -220,8 +227,12 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 		if err != nil {
 			return MISResult{}, err
 		}
+		chk := syncsim.NewChecker(g, func(v int) (bool, int) {
+			return mis.LocalStable(g, eng.View(), v), 0
+		})
 		rounds, ok := eng.RunUntil(func(e *syncsim.Engine[restart.State[mis.State]]) bool {
-			return mis.Stable(g, e.States())
+			chk.Recheck(e.Changed())
+			return chk.AllOK()
 		}, roundBudget)
 		if !ok {
 			return MISResult{}, fmt.Errorf("thinunison: MIS did not stabilize within %d rounds", roundBudget)
@@ -246,21 +257,17 @@ func SolveMIS(g *Graph, opts ...Option) (MISResult, error) {
 		return MISResult{}, err
 	}
 	roundBudget = stats.SatAdd(roundBudget, budget.Synchronizer(o.d))
-	piStates := func(e *asyncsim.Engine[synchronizer.State[restart.State[mis.State]]]) []restart.State[mis.State] {
-		states := e.States()
-		pi := make([]restart.State[mis.State], len(states))
-		for v, st := range states {
-			pi[v] = st.Cur
-		}
-		return pi
-	}
+	prj := syncsim.NewProjected(g, eng.View,
+		func(st synchronizer.State[restart.State[mis.State]]) restart.State[mis.State] { return st.Cur },
+		func(pi []restart.State[mis.State], v int) (bool, int) { return mis.LocalStable(g, pi, v), 0 })
 	rounds, ok := eng.RunUntil(func(e *asyncsim.Engine[synchronizer.State[restart.State[mis.State]]]) bool {
-		return mis.Stable(g, piStates(e))
+		prj.Update(e.Changed())
+		return prj.Checker().AllOK()
 	}, roundBudget)
 	if !ok {
 		return MISResult{}, fmt.Errorf("thinunison: asynchronous MIS did not stabilize within %d rounds", roundBudget)
 	}
-	return MISResult{InSet: mis.InSet(piStates(eng)), Rounds: rounds}, nil
+	return MISResult{InSet: mis.InSet(prj.States()), Rounds: rounds}, nil
 }
 
 // LEResult is the output of SolveLeaderElection.
@@ -287,6 +294,13 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 	rng := rand.New(rand.NewSource(o.seed))
 	roundBudget := taskBudget(o.d, g.N())
 
+	leEval := func(s restart.State[le.State]) (bool, int) {
+		ok, leader := le.LocalStable(s)
+		if leader {
+			return ok, 1
+		}
+		return ok, 0
+	}
 	if o.sched == nil {
 		initial := make([]restart.State[le.State], g.N())
 		for v := range initial {
@@ -296,8 +310,12 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 		if err != nil {
 			return LEResult{}, err
 		}
+		chk := syncsim.NewChecker(g, func(v int) (bool, int) {
+			return leEval(eng.View()[v])
+		})
 		rounds, ok := eng.RunUntil(func(e *syncsim.Engine[restart.State[le.State]]) bool {
-			return le.Stable(e.States())
+			chk.Recheck(e.Changed())
+			return chk.AllOK() && chk.Sum() == 1
 		}, roundBudget)
 		if !ok {
 			return LEResult{}, fmt.Errorf("thinunison: LE did not stabilize within %d rounds", roundBudget)
@@ -322,21 +340,18 @@ func SolveLeaderElection(g *Graph, opts ...Option) (LEResult, error) {
 		return LEResult{}, err
 	}
 	roundBudget = stats.SatAdd(roundBudget, budget.Synchronizer(o.d))
-	piStates := func(e *asyncsim.Engine[synchronizer.State[restart.State[le.State]]]) []restart.State[le.State] {
-		states := e.States()
-		pi := make([]restart.State[le.State], len(states))
-		for v, st := range states {
-			pi[v] = st.Cur
-		}
-		return pi
-	}
+	prj := syncsim.NewProjected(g, eng.View,
+		func(st synchronizer.State[restart.State[le.State]]) restart.State[le.State] { return st.Cur },
+		func(pi []restart.State[le.State], v int) (bool, int) { return leEval(pi[v]) })
 	rounds, ok := eng.RunUntil(func(e *asyncsim.Engine[synchronizer.State[restart.State[le.State]]]) bool {
-		return le.Stable(piStates(e))
+		prj.Update(e.Changed())
+		c := prj.Checker()
+		return c.AllOK() && c.Sum() == 1
 	}, roundBudget)
 	if !ok {
 		return LEResult{}, fmt.Errorf("thinunison: asynchronous LE did not stabilize within %d rounds", roundBudget)
 	}
-	return LEResult{Leader: le.Leaders(piStates(eng))[0], Rounds: rounds}, nil
+	return LEResult{Leader: le.Leaders(prj.States())[0], Rounds: rounds}, nil
 }
 
 // taskBudget is the generous Theorem 1.3/1.4 round budget, saturating at
