@@ -13,9 +13,15 @@
 // with -quiet). -csv writes the full record set as CSV to a file. With
 // -timing off (the default), output is byte-identical for equal seeds, so
 // campaign runs can serve as regression golden files.
+//
+// Large scenarios shard their engines across an intra-run worker pool (see
+// internal/shard); -parallelism forces the mode, and -shard-check runs the
+// preset as a divergence guard, failing if a sharded record at P=8 differs
+// from the P=1 record of the same seed.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -27,6 +33,50 @@ import (
 
 	"thinunison/internal/campaign"
 )
+
+// shardCheck is the sharded-vs-sequential divergence guard: every scenario
+// runs twice with forced shard counts 1 and 8, and the two records must be
+// byte-identical (the differential-harness invariant, enforced on the real
+// preset in CI). Returns a process exit code.
+func shardCheck(scenarios []campaign.Scenario) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	record := func(sc campaign.Scenario, p int) ([]byte, error) {
+		sc.Parallelism = p
+		rec := campaign.Execute(ctx, sc)
+		rec.WallMS = 0
+		var buf bytes.Buffer
+		err := campaign.AppendJSONL(&buf, rec)
+		return buf.Bytes(), err
+	}
+	diverged := 0
+	for _, sc := range scenarios {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "campaign: shard-check interrupted")
+			return 1
+		}
+		seq, err := record(sc, 1)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		shd, err := record(sc, 8)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		if !bytes.Equal(seq, shd) {
+			diverged++
+			fmt.Fprintf(os.Stderr, "campaign: shard-check: scenario %d diverged:\n  P=1: %s  P=8: %s", sc.Index, seq, shd)
+		}
+	}
+	if diverged > 0 {
+		fmt.Fprintf(os.Stderr, "campaign: shard-check FAILED: %d of %d scenarios diverged between P=1 and P=8\n", diverged, len(scenarios))
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign: shard-check OK: %d scenarios byte-identical at P=1 and P=8\n", len(scenarios))
+	return 0
+}
 
 func main() {
 	os.Exit(run())
@@ -43,6 +93,8 @@ func run() int {
 		timing  = flag.Bool("timing", false, "include wall_ms in records (breaks byte-for-byte reproducibility)")
 		quiet   = flag.Bool("quiet", false, "suppress the aggregate table on stderr")
 		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
+		par     = flag.Int("parallelism", 0, "intra-run engine parallelism: >0 forces sharded engines with that worker count, <0 forces the classic sequential engines, 0 decides by scenario size")
+		check   = flag.Bool("shard-check", false, "divergence guard: run every scenario sharded at P=1 and P=8 and fail if any record differs, instead of a normal campaign")
 	)
 	flag.Parse()
 
@@ -55,6 +107,13 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err) // the package error already carries the campaign: prefix
 		return 2
+	}
+	for i := range scenarios {
+		scenarios[i].Parallelism = *par
+	}
+
+	if *check {
+		return shardCheck(scenarios)
 	}
 
 	var jsonl io.Writer = os.Stdout

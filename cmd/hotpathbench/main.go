@@ -1,8 +1,9 @@
 // Command hotpathbench measures the simulation hot path and writes the
 // BENCH_hotpath.json perf artifact: step throughput and allocation counts on
 // scale-sweep-sized AlgAU instances, stabilization and fault-storm recovery
-// wall times, and the speedup of the incremental stabilization monitor over
-// the pre-incremental full-graph rescan.
+// wall times, the speedup of the incremental stabilization monitor over the
+// pre-incremental full-graph rescan, and the shard-scaling series (one run
+// sharded over P ∈ {1, 2, 4, 8} workers at 10^5 nodes; -big adds 10^6).
 //
 // Regenerate the committed artifact with
 //
@@ -39,12 +40,25 @@ type speedup struct {
 	Speedup       float64 `json:"speedup"`
 }
 
+// shardPoint is one point of the shard-scaling series: a sharded scenario at
+// worker count P, with its speedup over the P=1 run of the same scenario.
+// The series is meaningful on multi-core hardware (see num_cpu): on a single
+// core it degenerates to an overhead measurement of the fan-out machinery.
+type shardPoint struct {
+	Scenario    string  `json:"scenario"`
+	N           int     `json:"n"`
+	P           int     `json:"p"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	SpeedupVsP1 float64 `json:"speedup_vs_p1"`
+}
+
 type artifact struct {
-	Tool       string    `json:"tool"`
-	GoVersion  string    `json:"go_version"`
-	NumCPU     int       `json:"num_cpu"`
-	Benchmarks []entry   `json:"benchmarks"`
-	Speedups   []speedup `json:"speedups"`
+	Tool         string       `json:"tool"`
+	GoVersion    string       `json:"go_version"`
+	NumCPU       int          `json:"num_cpu"`
+	Benchmarks   []entry      `json:"benchmarks"`
+	Speedups     []speedup    `json:"speedups"`
+	ShardScaling []shardPoint `json:"shard_scaling"`
 }
 
 func measure(name string, n, iters int, fn func(b *testing.B)) entry {
@@ -69,7 +83,8 @@ func measure(name string, n, iters int, fn func(b *testing.B)) entry {
 
 func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output path for the JSON artifact")
-	quick := flag.Bool("quick", false, "skip the slowest (n=10000 full-scan) measurements")
+	quick := flag.Bool("quick", false, "skip the slowest (n=10000 full-scan) measurements and shrink the shard series")
+	big := flag.Bool("big", false, "extend the shard-scaling series to a 10^6-node instance")
 	testing.Init()
 	flag.Parse()
 
@@ -115,6 +130,42 @@ func main() {
 		// ~n nodes per round-robin step and takes seconds per burst.
 		record("recovery", 10000, 1, func(m hotpath.Mode) func(b *testing.B) {
 			return hotpath.Recovery(10000, faults, m)
+		})
+	}
+
+	// Shard-scaling series: the same scenario at P ∈ {1, 2, 4, 8} shards,
+	// P=1 as the baseline. Sharded runs are byte-identical at every P, so
+	// the curve isolates wall-time scaling. -big extends the steady-step
+	// series to a 10^6-node instance.
+	shardSeries := func(scenario string, n, iters int, fn func(p int) func(b *testing.B)) {
+		var base float64
+		for _, p := range []int{1, 2, 4, 8} {
+			e := measure(hotpath.ShardName(scenario, n, p), n, iters, fn(p))
+			if p == 1 {
+				base = e.NsPerOp
+			}
+			a.ShardScaling = append(a.ShardScaling, shardPoint{
+				Scenario:    scenario,
+				N:           n,
+				P:           p,
+				NsPerOp:     e.NsPerOp,
+				SpeedupVsP1: base / e.NsPerOp,
+			})
+		}
+	}
+	steadyIters, stabIters := 50, 3
+	if *quick {
+		steadyIters, stabIters = 10, 1
+	}
+	shardSeries("steady-step-sharded", 100000, steadyIters, func(p int) func(b *testing.B) {
+		return hotpath.ShardedSteadyStep(100000, p)
+	})
+	shardSeries("stabilize-sharded", 100000, stabIters, func(p int) func(b *testing.B) {
+		return hotpath.ShardedStabilize(100000, p)
+	})
+	if *big {
+		shardSeries("steady-step-sharded", 1000000, 5, func(p int) func(b *testing.B) {
+			return hotpath.ShardedSteadyStep(1000000, p)
 		})
 	}
 

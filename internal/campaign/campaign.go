@@ -169,6 +169,52 @@ type Scenario struct {
 	// configuration, coin tosses, scheduler); it is derived from the
 	// campaign seed and Index, so equal campaigns replay byte-identically.
 	Seed int64
+	// Parallelism selects the intra-run execution mode of the AU/MIS/LE
+	// engines: > 0 forces sharded execution with that worker count, < 0
+	// forces the classic sequential engines, and 0 (the default) decides
+	// automatically — scenarios with N >= ShardThreshold nodes run sharded,
+	// sized to the runner's idle capacity. Sharded results are
+	// byte-identical at any positive worker count and the automatic
+	// sharded-vs-classic decision depends only on the scenario, so records
+	// stay machine-independent either way.
+	Parallelism int
+	// intraHint is the runner's idle-capacity suggestion for automatic
+	// intra-run parallelism (workers left over when there are fewer
+	// scenarios than pool workers). It sizes the shard pool but never
+	// changes record bytes.
+	intraHint int
+}
+
+// ShardThreshold is the node count from which Execute runs a scenario's
+// engines sharded by default: below it per-step work is too small to
+// amortize the fan-out, above it a single run saturates multiple cores.
+// The decision is a pure function of the scenario, never of the machine.
+const ShardThreshold = 50_000
+
+// maxIntraParallelism caps automatic intra-run sharding; beyond ~8 workers
+// the sequential merge and pool wake-up dominate a step's critical path.
+const maxIntraParallelism = 8
+
+// intraParallelism resolves the scenario's effective engine parallelism
+// (0 = classic sequential engines).
+func (sc Scenario) intraParallelism() int {
+	switch {
+	case sc.Parallelism > 0:
+		return sc.Parallelism
+	case sc.Parallelism < 0:
+		return 0
+	case sc.N >= ShardThreshold:
+		p := sc.intraHint
+		if p < 1 {
+			p = 1
+		}
+		if p > maxIntraParallelism {
+			p = maxIntraParallelism
+		}
+		return p
+	default:
+		return 0
+	}
 }
 
 // Matrix is a declarative scenario matrix. Expand crosses all dimensions and

@@ -31,6 +31,13 @@ const exactDiameterLimit = 512
 // Execute runs one scenario to completion and returns its record. It is safe
 // to call concurrently for distinct scenarios: every run builds its own
 // graph, engine, scheduler and rng from the scenario seed.
+//
+// Execute chooses between run-level and intra-run parallelism: scenarios at
+// or above ShardThreshold nodes run their AU/MIS/LE engines sharded across
+// an intra-run worker pool (sized by the runner's idle capacity, overridden
+// by Scenario.Parallelism), while smaller scenarios rely on the runner's
+// run-level fan-out alone. The synchronized sync-mis/sync-le drivers always
+// run sequentially — their per-step activation sets are too small to shard.
 func Execute(ctx context.Context, sc Scenario) Record {
 	start := time.Now()
 	rec := Record{
@@ -146,11 +153,16 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		rec.fail(err)
 		return
 	}
-	eng, err := sim.New(g, au, sim.Options{Scheduler: scheduler, Seed: rng.Int63()})
+	eng, err := sim.New(g, au, sim.Options{
+		Scheduler:   scheduler,
+		Seed:        rng.Int63(),
+		Parallelism: sc.intraParallelism(),
+	})
 	if err != nil {
 		rec.fail(err)
 		return
 	}
+	defer eng.Close()
 	roundBudget := budget.AU(au.K())
 	rec.Budget = roundBudget
 
@@ -254,11 +266,12 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 	for v := range initial {
 		initial[v] = t.random(rng)
 	}
-	eng, err := syncsim.New(g, t.step, initial, rng.Int63())
+	eng, err := syncsim.NewParallel(g, t.step, initial, rng.Int63(), sc.intraParallelism())
 	if err != nil {
 		rec.fail(err)
 		return
 	}
+	defer eng.Close()
 	roundBudget := budget.Task(d, g.N())
 	rec.Budget = roundBudget
 

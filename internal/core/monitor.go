@@ -107,21 +107,29 @@ func (m *Monitor) Check(cfg sa.Config) error {
 // GoodMonitor incrementally tracks the AlgAU stabilization predicate
 // GraphGood. Instead of re-scanning every node after each step (O(n·Δ) per
 // check), it maintains per-node violation counters — unprotected incident
-// edges and faulty neighbors — and a global count of not-good nodes, updated
-// in O(deg v) per changed node. The stabilization check itself becomes O(1).
+// edges and faulty neighbors — and a count of not-good nodes, updated in
+// O(deg v) per changed node. The stabilization check itself becomes O(1)
+// (O(P) on a P-sharded engine).
 //
 // It implements sim.ConfigObserver: register it on an engine with
 // Engine.Observe and it sees every node state change (steps, SetState,
 // InjectFaults). Good() then always agrees with au.GraphGood(g, cfg).
+//
+// It also implements sim.ShardedObserver: its counter maintenance is
+// order-independent, and on a sharded engine the not-good count is kept per
+// shard, so workers apply their shard's interior changes concurrently —
+// every counter touched when an interior node changes belongs to that
+// node's shard — and Good combines the per-shard counts in O(P).
 type GoodMonitor struct {
 	au *AU
 	g  *graph.Graph
 
-	level  []Level // current level λ_v per node
-	faulty []bool  // current faulty flag per node
-	unprot []int32 // number of unprotected incident edges per node
-	fnbrs  []int32 // number of faulty neighbors per node
-	bad    int     // number of nodes that are not good
+	level   []Level // current level λ_v per node
+	faulty  []bool  // current faulty flag per node
+	unprot  []int32 // number of unprotected incident edges per node
+	fnbrs   []int32 // number of faulty neighbors per node
+	bad     []int   // not-good node counts; one slot per shard (one total when unsharded)
+	shardOf []int32 // owner-shard table from AttachShards; nil when unsharded
 }
 
 // NewGoodMonitor returns a monitor initialized from cfg (a full O(n·Δ) scan —
@@ -135,9 +143,35 @@ func NewGoodMonitor(au *AU, g *graph.Graph, cfg sa.Config) *GoodMonitor {
 		faulty: make([]bool, n),
 		unprot: make([]int32, n),
 		fnbrs:  make([]int32, n),
+		bad:    make([]int, 1),
 	}
 	m.Reset(cfg)
 	return m
+}
+
+// AttachShards implements sim.ShardedObserver: the monitor re-buckets its
+// not-good count into one slot per shard (indexed through the engine
+// partition's owner table), so concurrent workers touch only their own
+// shard's slot and Good combines the slots in O(nshards).
+func (m *GoodMonitor) AttachShards(shardOf []int32, nshards int) {
+	if nshards < 1 {
+		nshards = 1
+	}
+	m.shardOf = shardOf
+	m.bad = make([]int, nshards)
+	for v := 0; v < m.g.N(); v++ {
+		if !m.nodeGood(v) {
+			m.bad[m.shard(v)]++
+		}
+	}
+}
+
+// shard returns the bad-count slot of node v.
+func (m *GoodMonitor) shard(v int) int {
+	if m.shardOf == nil {
+		return 0
+	}
+	return int(m.shardOf[v])
 }
 
 // Reset recomputes all counters from cfg. Use it when the configuration was
@@ -148,7 +182,9 @@ func (m *GoodMonitor) Reset(cfg sa.Config) {
 		m.level[v] = t.Level
 		m.faulty[v] = t.Faulty
 	}
-	m.bad = 0
+	for s := range m.bad {
+		m.bad[s] = 0
+	}
 	for v := 0; v < m.g.N(); v++ {
 		var unprot, fnbrs int32
 		for _, u := range m.g.Neighbors(v) {
@@ -162,7 +198,7 @@ func (m *GoodMonitor) Reset(cfg sa.Config) {
 		m.unprot[v] = unprot
 		m.fnbrs[v] = fnbrs
 		if !m.nodeGood(v) {
-			m.bad++
+			m.bad[m.shard(v)]++
 		}
 	}
 }
@@ -210,9 +246,9 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 		}
 		if uGood := m.nodeGood(u); uGood != uWasGood {
 			if uGood {
-				m.bad--
+				m.bad[m.shard(u)]--
 			} else {
-				m.bad++
+				m.bad[m.shard(u)]++
 			}
 		}
 	}
@@ -221,17 +257,30 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 	m.unprot[v] += dunprot
 	if vGood := m.nodeGood(v); vGood != vWasGood {
 		if vGood {
-			m.bad--
+			m.bad[m.shard(v)]--
 		} else {
-			m.bad++
+			m.bad[m.shard(v)]++
 		}
 	}
 }
 
 // Good reports whether the graph is good (every node good) — the AlgAU
-// stabilization condition — in O(1).
-func (m *GoodMonitor) Good() bool { return m.bad == 0 }
+// stabilization condition — in O(1) (O(P) per-shard combine when sharded).
+func (m *GoodMonitor) Good() bool {
+	for _, b := range m.bad {
+		if b != 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // BadNodes returns the current number of not-good nodes (a progress metric
-// for traces and campaigns).
-func (m *GoodMonitor) BadNodes() int { return m.bad }
+// for traces and campaigns), combining the per-shard counts in O(P).
+func (m *GoodMonitor) BadNodes() int {
+	total := 0
+	for _, b := range m.bad {
+		total += b
+	}
+	return total
+}

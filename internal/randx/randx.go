@@ -1,8 +1,61 @@
 // Package randx holds small allocation-conscious randomness helpers shared
-// by the simulation engines.
+// by the simulation engines: a partial Fisher–Yates shuffle for fault
+// sampling and the counter-based per-node random streams that make sharded
+// execution order-invariant (see internal/shard).
 package randx
 
 import "math/rand"
+
+// splitMix64 is the splitmix64 finalizer: a cheap invertible avalanche that
+// turns a structured counter into a well-mixed 64-bit word. It is the mixing
+// primitive behind NodeSeed and Seq.
+func splitMix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// NodeSeed maps (run seed, step index, node ID) to a decorrelated stream
+// seed. Sharded engines draw every coin toss of node v at step t from a Seq
+// seeded with NodeSeed(seed, t, v), so a node's randomness is a pure function
+// of the run seed and its coordinates — independent of worker count,
+// scheduling order and goroutine interleaving. Two finalizer applications
+// domain-separate the step and node dimensions.
+func NodeSeed(seed int64, step, node int) uint64 {
+	return splitMix64(splitMix64(uint64(seed)^0x5851f42d4c957f2d*uint64(step+1)) + uint64(node))
+}
+
+// Seq is a splitmix64 sequence implementing rand.Source64. Unlike
+// rand.NewSource's lagged-Fibonacci generator (whose seeding walks a
+// 607-word table), reseeding a Seq is a single store, so sharded engines can
+// switch to a fresh per-node stream before every transition at no cost.
+// Wrap it once per worker: rand.New(&Seq{}).
+//
+// The zero value is a valid source (the all-zero stream); call Reseed before
+// drawing.
+type Seq struct {
+	state uint64
+}
+
+// Reseed restarts the sequence at the given stream seed.
+func (s *Seq) Reseed(seed uint64) { s.state = seed }
+
+// Seed implements rand.Source.
+func (s *Seq) Seed(seed int64) { s.state = uint64(seed) }
+
+// Uint64 implements rand.Source64: it advances the counter and returns its
+// finalized mix.
+func (s *Seq) Uint64() uint64 {
+	s.state++
+	return splitMix64(s.state)
+}
+
+// Int63 implements rand.Source.
+func (s *Seq) Int63() int64 { return int64(s.Uint64() >> 1) }
 
 // PartialShuffle maintains *buf as a permutation of 0..n-1 and runs the
 // first count swaps of a Fisher–Yates pass over it, returning the count

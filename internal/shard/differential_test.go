@@ -1,0 +1,130 @@
+package shard_test
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"thinunison/internal/campaign"
+	"thinunison/internal/graph"
+)
+
+// differentialScenarios spans graph families × schedulers × fault models ×
+// algorithms (AU under every scheduler; the synchronous MIS/LE programs
+// under the synchronous schedule), sized small enough to run at several
+// worker counts in one test.
+func differentialScenarios() []campaign.Scenario {
+	var scs []campaign.Scenario
+	for _, alg := range []campaign.Algorithm{campaign.AlgAU} {
+		for _, sched := range []campaign.SchedulerSpec{
+			campaign.Synchronous, campaign.RoundRobin, campaign.RandomSubset, campaign.Laggard,
+		} {
+			for _, f := range []campaign.FaultSpec{{}, {Count: 8, Bursts: 2}} {
+				scs = append(scs,
+					campaign.Scenario{Family: graph.FamilyCycle, N: 48, Scheduler: sched, Algorithm: alg, Faults: f},
+					campaign.Scenario{Family: graph.FamilyBoundedD, N: 96, D: 3, Scheduler: sched, Algorithm: alg, Faults: f},
+				)
+			}
+		}
+	}
+	for _, alg := range []campaign.Algorithm{campaign.AlgMIS, campaign.AlgLE} {
+		for _, f := range []campaign.FaultSpec{{}, {Count: 6, Bursts: 1}} {
+			scs = append(scs,
+				campaign.Scenario{Family: graph.FamilyStar, N: 32, Scheduler: campaign.Synchronous, Algorithm: alg, Faults: f},
+				campaign.Scenario{Family: graph.FamilyRandom, N: 64, Scheduler: campaign.Synchronous, Algorithm: alg, Faults: f},
+			)
+		}
+	}
+	return campaign.Finalize(1234, scs)
+}
+
+// recordBytes executes sc with the given forced engine parallelism and
+// returns its record as canonical JSONL bytes (wall time zeroed, as the
+// runner does for reproducible output).
+func recordBytes(t *testing.T, sc campaign.Scenario, parallelism int) []byte {
+	t.Helper()
+	sc.Parallelism = parallelism
+	rec := campaign.Execute(context.Background(), sc)
+	rec.WallMS = 0
+	var buf bytes.Buffer
+	if err := campaign.AppendJSONL(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestDifferentialCampaignRecords is the top-level differential harness of
+// the sharded execution mode: for every scenario in the family × scheduler ×
+// fault × algorithm matrix, the full JSONL record of a sharded run at P ∈
+// {2, 3, 8} must be byte-identical to the P=1 run of the same seed —
+// stabilization rounds, steps, recovery rounds, budgets and verdicts alike.
+func TestDifferentialCampaignRecords(t *testing.T) {
+	for _, sc := range differentialScenarios() {
+		ref := recordBytes(t, sc, 1)
+		if !bytes.Contains(ref, []byte(`"ok":true`)) {
+			t.Fatalf("scenario %d (%s/%s/%s) did not stabilize at P=1: %s",
+				sc.Index, sc.Family, sc.Algorithm, sc.Scheduler.Name(), ref)
+		}
+		for _, p := range []int{2, 3, 8} {
+			got := recordBytes(t, sc, p)
+			if !bytes.Equal(ref, got) {
+				t.Errorf("scenario %d (%s/%s/%s): P=%d record diverged from P=1:\nP=1: %sP=%d: %s",
+					sc.Index, sc.Family, sc.Algorithm, sc.Scheduler.Name(), p, ref, p, got)
+			}
+		}
+	}
+}
+
+// TestDifferentialAUClassicParity pins the bridge between the two execution
+// modes: AlgAU ignores coin tosses, so for AU scenarios the sharded records
+// must also match the classic sequential engine (Parallelism < 0) byte for
+// byte. (For the coin-flipping MIS/LE programs the classic shared stream is
+// a different — equally valid — probability space, so no such parity is
+// expected there.)
+func TestDifferentialAUClassicParity(t *testing.T) {
+	for _, sc := range differentialScenarios() {
+		if sc.Algorithm != campaign.AlgAU {
+			continue
+		}
+		classic := recordBytes(t, sc, -1)
+		sharded := recordBytes(t, sc, 4)
+		if !bytes.Equal(classic, sharded) {
+			t.Errorf("scenario %d (%s/%s): sharded AU diverged from classic:\nclassic: %ssharded: %s",
+				sc.Index, sc.Family, sc.Scheduler.Name(), classic, sharded)
+		}
+	}
+}
+
+// TestRunnerAutoShardingDeterminism checks the run-level/intra-run
+// interplay: the same campaign run through runners with different worker
+// counts (hence different idle-capacity hints and different automatic shard
+// pool sizes) must emit byte-identical record streams.
+func TestRunnerAutoShardingDeterminism(t *testing.T) {
+	scs := campaign.Concat(7, campaign.Matrix{
+		Families:   []graph.Family{graph.FamilyCycle, graph.FamilyStar},
+		Sizes:      []int{40},
+		Algorithms: []campaign.Algorithm{campaign.AlgAU, campaign.AlgMIS},
+	})
+	var outs [][]byte
+	for _, workers := range []int{1, 2, 7} {
+		var buf bytes.Buffer
+		var mu sync.Mutex
+		r := &campaign.Runner{Workers: workers, OnRecord: func(rec campaign.Record) {
+			mu.Lock()
+			defer mu.Unlock()
+			if err := campaign.AppendJSONL(&buf, rec); err != nil {
+				t.Error(err)
+			}
+		}}
+		if _, err := r.Run(context.Background(), scs); err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, buf.Bytes())
+	}
+	for i := 1; i < len(outs); i++ {
+		if !bytes.Equal(outs[0], outs[i]) {
+			t.Fatalf("runner worker counts produced different record streams")
+		}
+	}
+}

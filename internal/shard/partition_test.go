@@ -1,0 +1,259 @@
+package shard
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"thinunison/internal/graph"
+)
+
+// testGraphs returns a spread of families and sizes exercising degenerate
+// (single node, path), regular (cycle, grid), hub (star) and irregular
+// (random connected) shapes.
+func testGraphs(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	gs := map[string]*graph.Graph{}
+	add := func(name string, g *graph.Graph, err error) {
+		if err != nil {
+			t.Fatalf("build %s: %v", name, err)
+		}
+		gs[name] = g
+	}
+	g, err := graph.New(1, nil)
+	add("single", g, err)
+	g, err = graph.Path(17)
+	add("path17", g, err)
+	g, err = graph.Cycle(30)
+	add("cycle30", g, err)
+	g, err = graph.Star(25)
+	add("star25", g, err)
+	g, err = graph.Grid(6, 7)
+	add("grid6x7", g, err)
+	g, err = graph.RandomConnected(64, 0.1, rng)
+	add("random64", g, err)
+	g, err = graph.BoundedDiameter(100, 4, rng)
+	add("boundedD100", g, err)
+	return gs
+}
+
+// checkPartition asserts the partitioner's invariants: exact cover by
+// contiguous non-empty ranges, a consistent owner table, and a sound
+// boundary/interior split (no interior node has a cross-shard edge, every
+// boundary node has one).
+func checkPartition(t *testing.T, g *graph.Graph, pt *Partition) {
+	t.Helper()
+	p := pt.P()
+	if p < 1 || p > g.N() {
+		t.Fatalf("P = %d out of range [1, %d]", p, g.N())
+	}
+	// Exact cover: ranges are contiguous, non-empty, and concatenate to [0, n).
+	prev := 0
+	for s := 0; s < p; s++ {
+		lo, hi := pt.Range(s)
+		if lo != prev {
+			t.Fatalf("shard %d starts at %d, want %d", s, lo, prev)
+		}
+		if hi <= lo {
+			t.Fatalf("shard %d empty: [%d, %d)", s, lo, hi)
+		}
+		for v := lo; v < hi; v++ {
+			if pt.ShardOf(v) != s {
+				t.Fatalf("ShardOf(%d) = %d, want %d", v, pt.ShardOf(v), s)
+			}
+		}
+		prev = hi
+	}
+	if prev != g.N() {
+		t.Fatalf("ranges cover [0, %d), want [0, %d)", prev, g.N())
+	}
+	// Boundary soundness.
+	inBoundary := make(map[int]bool)
+	for s := 0; s < p; s++ {
+		last := -1
+		for _, v := range pt.Boundary(s) {
+			if v <= last {
+				t.Fatalf("shard %d boundary list not ascending: %v", s, pt.Boundary(s))
+			}
+			last = v
+			if pt.ShardOf(v) != s {
+				t.Fatalf("boundary node %d of shard %d owned by shard %d", v, s, pt.ShardOf(v))
+			}
+			inBoundary[v] = true
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		cross := false
+		for _, u := range g.Neighbors(v) {
+			if pt.ShardOf(u) != pt.ShardOf(v) {
+				cross = true
+				break
+			}
+		}
+		if cross == pt.Interior(v) {
+			t.Fatalf("node %d: Interior = %v but cross-shard edge = %v", v, pt.Interior(v), cross)
+		}
+		if cross != inBoundary[v] {
+			t.Fatalf("node %d: cross-shard edge = %v but boundary membership = %v", v, cross, inBoundary[v])
+		}
+	}
+}
+
+func TestPartitionInvariants(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, p := range []int{1, 2, 3, 5, 8, 1000} {
+			pt := NewPartition(g, p)
+			checkPartition(t, g, pt)
+			if p <= g.N() && pt.P() != p {
+				t.Errorf("%s: NewPartition(p=%d).P() = %d", name, p, pt.P())
+			}
+			if p > g.N() && pt.P() != g.N() {
+				t.Errorf("%s: NewPartition(p=%d).P() = %d, want clamp to %d", name, p, pt.P(), g.N())
+			}
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		for _, p := range []int{1, 3, 8} {
+			a, b := NewPartition(g, p), NewPartition(g, p)
+			if !reflect.DeepEqual(a.starts, b.starts) {
+				t.Errorf("%s p=%d: starts differ: %v vs %v", name, p, a.starts, b.starts)
+			}
+			if !reflect.DeepEqual(a.shardOf, b.shardOf) {
+				t.Errorf("%s p=%d: owner tables differ", name, p)
+			}
+		}
+	}
+}
+
+func TestPartitionBalance(t *testing.T) {
+	// On a graph with uniform weights the heaviest shard must stay close to
+	// the average; the greedy cut guarantees within one node's weight.
+	g, err := graph.Cycle(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 4, 8} {
+		pt := NewPartition(g, p)
+		max := 0
+		for s := 0; s < p; s++ {
+			lo, hi := pt.Range(s)
+			w := 0
+			for v := lo; v < hi; v++ {
+				w += 1 + g.Degree(v)
+			}
+			if w > max {
+				max = w
+			}
+		}
+		avg := (1000 + 2*g.M()) / p
+		if max > avg+3 { // one cycle node weighs 3
+			t.Errorf("p=%d: heaviest shard weight %d, average %d", p, max, avg)
+		}
+	}
+}
+
+// FuzzPartition drives the partitioner invariants over arbitrary connected
+// graphs and shard counts.
+func FuzzPartition(f *testing.F) {
+	f.Add(int64(1), uint8(10), uint8(2), uint8(30))
+	f.Add(int64(2), uint8(50), uint8(8), uint8(5))
+	f.Add(int64(3), uint8(1), uint8(1), uint8(0))
+	f.Fuzz(func(t *testing.T, seed int64, n, p, extra uint8) {
+		nodes := int(n)%128 + 1
+		rng := rand.New(rand.NewSource(seed))
+		// Random connected graph: a random tree plus extra random edges.
+		b, err := graph.NewBuilder(nodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 1; v < nodes; v++ {
+			if err := b.AddEdge(v, rng.Intn(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < int(extra) && nodes > 1; i++ {
+			u, v := rng.Intn(nodes), rng.Intn(nodes)
+			if u != v {
+				if err := b.AddEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		g := b.Build()
+		pt := NewPartition(g, int(p))
+		checkPartition(t, g, pt)
+	})
+}
+
+func TestPoolRunsEveryShardOnce(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 8} {
+		pl := NewPool(p)
+		counts := make([]int, p)
+		var mu sync.Mutex
+		for iter := 0; iter < 3; iter++ {
+			pl.Run(func(s int) {
+				mu.Lock()
+				counts[s]++
+				mu.Unlock()
+			})
+		}
+		pl.Close()
+		for s, c := range counts {
+			if c != 3 {
+				t.Errorf("p=%d: shard %d ran %d times, want 3", p, s, c)
+			}
+		}
+	}
+}
+
+func TestPoolHappensBefore(t *testing.T) {
+	// Writes before Run are visible to workers; worker writes are visible
+	// after Run returns (the race detector in CI vets this harder).
+	pl := NewPool(4)
+	defer pl.Close()
+	in := make([]int, 4)
+	out := make([]int, 4)
+	for iter := 0; iter < 10; iter++ {
+		for i := range in {
+			in[i] = iter + i
+		}
+		pl.Run(func(s int) { out[s] = in[s] * 2 })
+		for i := range out {
+			if out[i] != (iter+i)*2 {
+				t.Fatalf("iter %d: out[%d] = %d, want %d", iter, i, out[i], (iter+i)*2)
+			}
+		}
+	}
+}
+
+func TestPoolCloseIdempotent(t *testing.T) {
+	pl := NewPool(3)
+	pl.Run(func(int) {})
+	pl.Close()
+	pl.Close()
+	pl2 := NewPool(2)
+	pl2.Close() // close before any Run is fine
+}
+
+func TestPoolRunAfterClosePanics(t *testing.T) {
+	// A closed pool must fail loudly: a quiet single-shard fallback would
+	// leave the other shards' staged state stale and corrupt the merge.
+	for _, p := range []int{1, 3} {
+		pl := NewPool(p)
+		pl.Run(func(int) {})
+		pl.Close()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%d: Run after Close did not panic", p)
+				}
+			}()
+			pl.Run(func(int) {})
+		}()
+	}
+}

@@ -9,17 +9,25 @@
 // scratch (no per-step configuration copy), and registered ConfigObservers
 // receive each node state change so stabilization predicates are maintained
 // in O(|A_t|·Δ) per step rather than rescanned over the whole graph.
+//
+// Large single runs shard across cores: Options.Parallelism >= 1 partitions
+// the graph into contiguous node shards (internal/shard) and fans each
+// step's staging over a persistent worker pool, with transition coin tosses
+// drawn from counter-based per-(step, node) streams so a sharded run is
+// byte-identical to a sequential run of the same seed at any worker count.
 package sim
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"thinunison/internal/graph"
 	"thinunison/internal/randx"
 	"thinunison/internal/sa"
 	"thinunison/internal/sched"
+	"thinunison/internal/shard"
 )
 
 // ErrBudgetExhausted is returned by RunUntil when the predicate did not hold
@@ -36,12 +44,33 @@ type Hook func(e *Engine) error
 // core.GoodMonitor maintain violation counters in O(deg v) per change, so
 // stabilization predicates need no per-step full-graph rescan.
 //
-// During a step, changes of the simultaneously updating activation set are
-// fed one node at a time; observers must tolerate that (counter maintenance
-// that is order-independent over single-node updates, as GoodMonitor's is).
+// Ordering contract: within a step, the changes of the simultaneously
+// updating activation set are delivered one node at a time, in ascending
+// node order, each node at most once — regardless of the order (or
+// duplication) of the scheduler's activation list, and regardless of the
+// engine's Parallelism. SetState and InjectFaults deliver in call order.
+// Observers that additionally implement ShardedObserver opt out of the
+// ascending guarantee on sharded engines in exchange for concurrent
+// delivery; plain observers always receive the canonical sequential order.
 type ConfigObserver interface {
 	// Apply records that node v now holds state q.
 	Apply(v int, q sa.State)
+}
+
+// ShardedObserver extends ConfigObserver for observers whose Apply is
+// order-independent and safe to call concurrently for nodes owned by
+// distinct shards (all state touched when node v changes — v and its
+// neighbors — must be guarded by v's shard, which the engine guarantees by
+// only delivering interior nodes concurrently). core.GoodMonitor is the
+// canonical implementation: it keeps its violation counters per shard and
+// combines them in O(P).
+//
+// AttachShards is invoked by a sharded engine when the observer is
+// registered: shardOf is the dense owner-shard table (indexed by node, owned
+// by the engine's partition) and nshards the shard count.
+type ShardedObserver interface {
+	ConfigObserver
+	AttachShards(shardOf []int32, nshards int)
 }
 
 // Engine drives one execution of an sa.Algorithm.
@@ -61,6 +90,32 @@ type Engine struct {
 
 	lastActivated []int
 	faultBuf      []int // reusable permutation buffer for InjectFaults
+	actBuf        []int // canonicalization buffer for unsorted activation lists
+
+	par *parRuntime // sharded-execution runtime; nil in classic mode
+}
+
+// parRuntime holds the sharded-execution state of an engine: the partition,
+// the persistent worker pool, per-shard staging buffers and per-worker
+// scratch (signal, reseedable rng). See Options.Parallelism.
+type parRuntime struct {
+	part *shard.Partition
+	pool *shard.Pool
+	seed int64
+
+	acts    [][]int      // per-shard activation views for the current step
+	actBufs [][]int      // backing buffers for acts when bucketing is needed
+	res     [][]sa.State // per-shard staged next states, aligned with acts
+	seqs    []*randx.Seq // per-worker reseedable coin-toss sources
+	rngs    []*rand.Rand // per-worker rand.Rand over seqs
+	sigs    []sa.Signal  // per-worker signal scratch
+
+	shObs ShardedObserver // obs, when it supports concurrent interior delivery
+
+	// stage and applyInterior are the per-phase worker bodies, built once at
+	// construction so the steady step loop allocates no closures.
+	stage         func(s int)
+	applyInterior func(s int)
 }
 
 // Options configures an Engine.
@@ -77,6 +132,25 @@ type Options struct {
 	// Seed seeds the engine's private rng (coin tosses and, if Initial is
 	// nil, the initial configuration).
 	Seed int64
+
+	// Parallelism selects the sharded execution mode. P >= 1 partitions the
+	// graph into P contiguous shards (clamped to the node count) and runs
+	// each step's activation set across a persistent worker pool; call Close
+	// when done with the engine to release the workers.
+	//
+	// Sharded runs are byte-identical for equal seeds at ANY P: transition
+	// coin tosses come from counter-based per-(step, node) streams
+	// (randx.NodeSeed) instead of the engine's shared rng, so results do not
+	// depend on execution order. P = 1 runs the same semantics inline —
+	// compare it against higher P to validate sharding (the differential
+	// harness in internal/shard does exactly that). For algorithms that
+	// ignore rng (AlgAU), sharded runs are also byte-identical to classic
+	// sequential runs.
+	//
+	// P = 0 (the default) is the classic sequential engine: transition coin
+	// tosses are drawn from the engine's single rng stream in activation
+	// order.
+	Parallelism int
 }
 
 // New returns an engine for alg on g.
@@ -103,7 +177,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		}
 		cfg = cfg.Clone()
 	}
-	return &Engine{
+	e := &Engine{
 		g:       g,
 		alg:     alg,
 		sched:   s,
@@ -112,7 +186,65 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		scratch: make(sa.Config, 0, g.N()),
 		signal:  sa.NewSignal(alg.NumStates()),
 		tracker: sched.NewRoundTracker(g.N()),
-	}, nil
+	}
+	if opts.Parallelism >= 1 {
+		part := shard.NewPartition(g, opts.Parallelism)
+		p := part.P()
+		pr := &parRuntime{
+			part:    part,
+			pool:    shard.NewPool(p),
+			seed:    opts.Seed,
+			acts:    make([][]int, p),
+			actBufs: make([][]int, p),
+			res:     make([][]sa.State, p),
+			seqs:    make([]*randx.Seq, p),
+			rngs:    make([]*rand.Rand, p),
+			sigs:    make([]sa.Signal, p),
+		}
+		for i := 0; i < p; i++ {
+			pr.seqs[i] = &randx.Seq{}
+			pr.rngs[i] = rand.New(pr.seqs[i])
+			pr.sigs[i] = sa.NewSignal(alg.NumStates())
+		}
+		// The worker bodies read e.step and the staged buffers directly;
+		// both are written only by the coordinator between pool phases, and
+		// the pool's channel handoffs order those writes.
+		pr.stage = func(s int) {
+			acts := pr.acts[s]
+			res := pr.res[s][:0]
+			rng, seq := pr.rngs[s], pr.seqs[s]
+			sig := &pr.sigs[s]
+			for _, v := range acts {
+				seq.Reseed(randx.NodeSeed(pr.seed, e.step, v))
+				e.SignalOf(v, sig)
+				res = append(res, e.alg.Transition(e.cfg[v], *sig, rng))
+			}
+			pr.res[s] = res
+		}
+		pr.applyInterior = func(s int) {
+			for i, v := range pr.acts[s] {
+				if !pr.part.Interior(v) {
+					continue
+				}
+				if q := pr.res[s][i]; q != e.cfg[v] {
+					e.cfg[v] = q
+					if pr.shObs != nil {
+						pr.shObs.Apply(v, q)
+					}
+				}
+			}
+		}
+		e.par = pr
+	}
+	return e, nil
+}
+
+// Close releases the worker goroutines of a sharded engine (Parallelism >=
+// 1). It is idempotent and a no-op for classic sequential engines.
+func (e *Engine) Close() {
+	if e.par != nil {
+		e.par.pool.Close()
+	}
 }
 
 // AddHook registers a post-step hook.
@@ -121,7 +253,23 @@ func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
 // Observe registers the engine's configuration observer (at most one; nil
 // unregisters). The observer must already reflect the engine's current
 // configuration — construct it from Config(), e.g. core.NewGoodMonitor.
-func (e *Engine) Observe(o ConfigObserver) { e.obs = o }
+//
+// On a sharded engine (Options.Parallelism >= 1), an observer implementing
+// ShardedObserver is attached to the engine's partition and receives
+// interior-node changes concurrently during the merge phase; plain
+// observers force the merge through the coordinator in canonical ascending
+// node order.
+func (e *Engine) Observe(o ConfigObserver) {
+	e.obs = o
+	if e.par == nil {
+		return
+	}
+	e.par.shObs = nil
+	if so, ok := o.(ShardedObserver); ok {
+		so.AttachShards(e.par.part.ShardIndex(), e.par.part.P())
+		e.par.shObs = so
+	}
+}
 
 // Graph returns the underlying graph.
 func (e *Engine) Graph() *graph.Graph { return e.g }
@@ -174,11 +322,65 @@ func (e *Engine) InjectFaults(count int) []int {
 // advances to C_{t+1}.
 //
 // The hot path is allocation-free: new states of the activation set are
-// staged in a reusable scratch slice (no O(n) configuration copy per step)
-// and written back only after every activated node has read C_t, preserving
-// the paper's simultaneous-update semantics.
+// staged in reusable scratch (no O(n) configuration copy per step) and
+// written back only after every activated node has read C_t, preserving the
+// paper's simultaneous-update semantics. On a sharded engine the staging
+// fans out across the worker pool; see Options.Parallelism.
 func (e *Engine) Step() error {
-	activated := e.sched.Activations(e.step, e.g.N())
+	activated := canonActivations(e.sched.Activations(e.step, e.g.N()), &e.actBuf)
+	if e.par != nil {
+		e.stepSharded(activated)
+	} else {
+		e.stepSequential(activated)
+	}
+	e.tracker.Observe(activated)
+	e.lastActivated = activated
+	e.step++
+	for _, h := range e.hooks {
+		if err := h(e); err != nil {
+			return fmt.Errorf("sim: hook at step %d: %w", e.step, err)
+		}
+	}
+	return nil
+}
+
+// canonActivations returns the activation set in canonical form: strictly
+// ascending node order, each node at most once. The built-in schedulers
+// already emit canonical sets and pass through untouched; scripted or
+// custom schedulers with unsorted or duplicated lists are copied, sorted
+// and deduplicated into buf. The ConfigObserver ordering contract and the
+// sharded engines' deterministic merge are both anchored on this
+// canonicalization (the engine previously applied updates in raw
+// activation-list order, leaking scheduler quirks — duplicate activations
+// double-applied a node's transition — into observer deliveries).
+func canonActivations(activated []int, buf *[]int) []int {
+	canonical := true
+	for i := 1; i < len(activated); i++ {
+		if activated[i] <= activated[i-1] {
+			canonical = false
+			break
+		}
+	}
+	if canonical {
+		return activated
+	}
+	b := append((*buf)[:0], activated...)
+	sort.Ints(b)
+	k := 0
+	for _, v := range b {
+		if k == 0 || v != b[k-1] {
+			b[k] = v
+			k++
+		}
+	}
+	*buf = b[:k]
+	return *buf
+}
+
+// stepSequential is the classic single-threaded step body: stage the
+// activation set's new states against C_t, then apply them in ascending
+// node order, feeding the observer.
+func (e *Engine) stepSequential(activated []int) {
 	e.scratch = e.scratch[:0]
 	for _, v := range activated {
 		e.SignalOf(v, &e.signal)
@@ -194,15 +396,71 @@ func (e *Engine) Step() error {
 			e.obs.Apply(v, q)
 		}
 	}
-	e.tracker.Observe(activated)
-	e.lastActivated = activated
-	e.step++
-	for _, h := range e.hooks {
-		if err := h(e); err != nil {
-			return fmt.Errorf("sim: hook at step %d: %w", e.step, err)
+}
+
+// stepSharded is the sharded step body: bucket the activation set by owner
+// shard, stage every shard's new states concurrently against the immutable
+// C_t (coin tosses from per-(step, node) streams, so the result is
+// independent of worker count and interleaving), then merge.
+//
+// The merge applies interior-node updates concurrently — an interior node's
+// whole neighborhood lives in its owner shard, so those writes (and a
+// ShardedObserver's counters) never race — and routes boundary-node updates
+// through the coordinator. With a plain order-sensitive observer the whole
+// merge runs on the coordinator in canonical ascending node order instead.
+func (e *Engine) stepSharded(activated []int) {
+	pr := e.par
+	p := pr.part.P()
+
+	if len(activated) == e.g.N() {
+		// Synchronous step: the canonical full set buckets into the
+		// partition's contiguous ranges — alias them instead of copying.
+		for s := 0; s < p; s++ {
+			lo, hi := pr.part.Range(s)
+			pr.acts[s] = activated[lo:hi]
+		}
+	} else {
+		for s := 0; s < p; s++ {
+			pr.actBufs[s] = pr.actBufs[s][:0]
+		}
+		for _, v := range activated {
+			s := pr.part.ShardOf(v)
+			pr.actBufs[s] = append(pr.actBufs[s], v)
+		}
+		copy(pr.acts, pr.actBufs)
+	}
+
+	pr.pool.Run(pr.stage)
+
+	if e.obs != nil && pr.shObs == nil {
+		// Order-sensitive observer: sequential canonical merge. Shards
+		// ascend and buckets ascend within shards, so this is ascending
+		// node order.
+		for s := 0; s < p; s++ {
+			for i, v := range pr.acts[s] {
+				if q := pr.res[s][i]; q != e.cfg[v] {
+					e.cfg[v] = q
+					e.obs.Apply(v, q)
+				}
+			}
+		}
+		return
+	}
+
+	pr.pool.Run(pr.applyInterior)
+	for s := 0; s < p; s++ {
+		for i, v := range pr.acts[s] {
+			if pr.part.Interior(v) {
+				continue
+			}
+			if q := pr.res[s][i]; q != e.cfg[v] {
+				e.cfg[v] = q
+				if e.obs != nil {
+					e.obs.Apply(v, q)
+				}
+			}
 		}
 	}
-	return nil
 }
 
 // SignalOf computes the signal of node v under the current configuration

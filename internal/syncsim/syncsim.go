@@ -8,6 +8,12 @@
 // a pure function of (own state, sensed state set, coin tosses); all nodes
 // run the same program (anonymity and size-uniformity are preserved — the
 // program never sees node IDs or n).
+//
+// Large single runs shard across cores: NewParallel partitions the graph
+// into contiguous node shards (internal/shard) and fans each round over a
+// persistent worker pool, with coin tosses drawn from counter-based
+// per-(round, node) streams so a sharded run is byte-identical to a
+// sequential run of the same seed at any worker count.
 package syncsim
 
 import (
@@ -16,6 +22,7 @@ import (
 
 	"thinunison/internal/graph"
 	"thinunison/internal/randx"
+	"thinunison/internal/shard"
 )
 
 // StepFunc is a node program: given the node's current state and the
@@ -38,6 +45,24 @@ type Engine[S comparable] struct {
 	buf      []S
 	changed  []int // nodes whose state changed in the last round
 	faultBuf []int // reusable permutation buffer for InjectFaults
+
+	par *parRuntime[S] // sharded-execution runtime; nil in classic mode
+}
+
+// parRuntime holds the sharded-execution state of an engine: the partition,
+// the persistent worker pool and per-worker scratch. See NewParallel.
+type parRuntime[S comparable] struct {
+	part    *shard.Partition
+	pool    *shard.Pool
+	seed    int64
+	seqs    []*randx.Seq // per-worker reseedable coin-toss sources
+	rngs    []*rand.Rand // per-worker rand.Rand over seqs
+	bufs    [][]S        // per-worker sense scratch
+	changed [][]int      // per-shard changed nodes of the last round
+
+	// body is the per-round worker function, built once at construction so
+	// the round loop allocates no closures.
+	body func(s int)
 }
 
 // New returns an engine with the given initial configuration.
@@ -59,13 +84,81 @@ func New[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64
 	}, nil
 }
 
+// NewParallel returns a sharded engine: the graph is partitioned into
+// parallelism contiguous node shards (clamped to the node count) and every
+// Round fans the per-node step computations over a persistent worker pool.
+// Call Close when done with the engine to release the workers.
+//
+// Sharded rounds draw each node's coin tosses from a counter-based
+// per-(round, node) stream (randx.NodeSeed) instead of the engine's shared
+// rng, so runs are byte-identical for equal seeds at ANY parallelism >= 1 —
+// including 1, which executes inline and serves as the reference side of the
+// differential harness in internal/shard. The step function must be safe
+// for concurrent calls (pure up to its rng argument, as the MIS/LE programs
+// are). parallelism <= 0 returns the classic sequential engine of New,
+// whose coin tosses come from the single shared stream.
+func NewParallel[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64, parallelism int) (*Engine[S], error) {
+	e, err := New(g, step, initial, seed)
+	if err != nil || parallelism <= 0 {
+		return e, err
+	}
+	part := shard.NewPartition(g, parallelism)
+	p := part.P()
+	pr := &parRuntime[S]{
+		part:    part,
+		pool:    shard.NewPool(p),
+		seed:    seed,
+		seqs:    make([]*randx.Seq, p),
+		rngs:    make([]*rand.Rand, p),
+		bufs:    make([][]S, p),
+		changed: make([][]int, p),
+	}
+	for i := 0; i < p; i++ {
+		pr.seqs[i] = &randx.Seq{}
+		pr.rngs[i] = rand.New(pr.seqs[i])
+	}
+	// The worker body reads e.round, e.states and e.next directly; all are
+	// written only by the coordinator between pool phases, and the pool's
+	// channel handoffs order those writes.
+	pr.body = func(s int) {
+		lo, hi := pr.part.Range(s)
+		rng, seq := pr.rngs[s], pr.seqs[s]
+		ch := pr.changed[s][:0]
+		for v := lo; v < hi; v++ {
+			seq.Reseed(randx.NodeSeed(pr.seed, e.round, v))
+			e.next[v] = e.step(e.states[v], e.senseInto(&pr.bufs[s], v), rng)
+			if e.next[v] != e.states[v] {
+				ch = append(ch, v)
+			}
+		}
+		pr.changed[s] = ch
+	}
+	e.par = pr
+	return e, nil
+}
+
+// Close releases the worker goroutines of a sharded engine (NewParallel
+// with parallelism >= 1). It is idempotent and a no-op for classic engines.
+func (e *Engine[S]) Close() {
+	if e.par != nil {
+		e.par.pool.Close()
+	}
+}
+
 // Graph returns the underlying graph.
 func (e *Engine[S]) Graph() *graph.Graph { return e.g }
 
 // Round executes one synchronous round: every node senses the current
 // configuration and all nodes update simultaneously. Nodes whose state
-// actually changed are recorded for Changed.
+// actually changed are recorded for Changed. On a sharded engine the
+// per-node computations fan out over the worker pool, one contiguous node
+// range per shard; the Changed merge concatenates the per-shard lists in
+// shard order, preserving ascending node order.
 func (e *Engine[S]) Round() {
+	if e.par != nil {
+		e.roundSharded()
+		return
+	}
 	e.changed = e.changed[:0]
 	for v := 0; v < e.g.N(); v++ {
 		e.next[v] = e.step(e.states[v], e.sense(v), e.rng)
@@ -77,24 +170,45 @@ func (e *Engine[S]) Round() {
 	e.round++
 }
 
+// roundSharded is the sharded round body: workers write disjoint ranges of
+// the next-state buffer while the current configuration stays immutable, so
+// the paper's simultaneous-update semantics hold by construction. Coin
+// tosses come from per-(round, node) streams, making the result independent
+// of worker count and goroutine interleaving.
+func (e *Engine[S]) roundSharded() {
+	pr := e.par
+	pr.pool.Run(pr.body)
+	e.states, e.next = e.next, e.states
+	e.changed = e.changed[:0]
+	for _, ch := range pr.changed {
+		e.changed = append(e.changed, ch...)
+	}
+	e.round++
+}
+
 // sense returns the deduplicated state set of N+(v).
-func (e *Engine[S]) sense(v int) []S {
-	e.buf = e.buf[:0]
-	e.buf = append(e.buf, e.states[v])
+func (e *Engine[S]) sense(v int) []S { return e.senseInto(&e.buf, v) }
+
+// senseInto computes the deduplicated state set of N+(v) into *buf (each
+// worker of a sharded engine owns its own buffer).
+func (e *Engine[S]) senseInto(buf *[]S, v int) []S {
+	b := (*buf)[:0]
+	b = append(b, e.states[v])
 	for _, u := range e.g.Neighbors(v) {
 		s := e.states[u]
 		dup := false
-		for _, t := range e.buf {
+		for _, t := range b {
 			if t == s {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			e.buf = append(e.buf, s)
+			b = append(b, s)
 		}
 	}
-	return e.buf
+	*buf = b
+	return b
 }
 
 // Rounds returns the number of rounds executed.
