@@ -17,7 +17,10 @@
 // Large scenarios shard their engines across an intra-run worker pool (see
 // internal/shard); -parallelism forces the mode, and -shard-check runs the
 // preset as a divergence guard, failing if a sharded record at P=8 differs
-// from the P=1 record of the same seed.
+// from the P=1 record of the same seed. AU scenarios run frontier-sparse by
+// default (settled nodes are skipped until their neighborhood changes);
+// -frontier forces the mode on or off, and -frontier-check runs the preset
+// as a dense-vs-frontier divergence guard.
 package main
 
 import (
@@ -34,15 +37,15 @@ import (
 	"thinunison/internal/campaign"
 )
 
-// shardCheck is the sharded-vs-sequential divergence guard: every scenario
-// runs twice with forced shard counts 1 and 8, and the two records must be
-// byte-identical (the differential-harness invariant, enforced on the real
-// preset in CI). Returns a process exit code.
-func shardCheck(scenarios []campaign.Scenario) int {
+// divergenceCheck runs every scenario under two forced variants and fails
+// if any record pair differs byte for byte — the differential-harness
+// invariant, enforced on real presets in CI. Returns a process exit code.
+func divergenceCheck(scenarios []campaign.Scenario, name, labelA, labelB string,
+	variantA, variantB func(*campaign.Scenario)) int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	record := func(sc campaign.Scenario, p int) ([]byte, error) {
-		sc.Parallelism = p
+	record := func(sc campaign.Scenario, variant func(*campaign.Scenario)) ([]byte, error) {
+		variant(&sc)
 		rec := campaign.Execute(ctx, sc)
 		rec.WallMS = 0
 		var buf bytes.Buffer
@@ -52,30 +55,50 @@ func shardCheck(scenarios []campaign.Scenario) int {
 	diverged := 0
 	for _, sc := range scenarios {
 		if ctx.Err() != nil {
-			fmt.Fprintln(os.Stderr, "campaign: shard-check interrupted")
+			fmt.Fprintf(os.Stderr, "campaign: %s interrupted\n", name)
 			return 1
 		}
-		seq, err := record(sc, 1)
+		a, err := record(sc, variantA)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
 			return 1
 		}
-		shd, err := record(sc, 8)
+		b, err := record(sc, variantB)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
 			return 1
 		}
-		if !bytes.Equal(seq, shd) {
+		if !bytes.Equal(a, b) {
 			diverged++
-			fmt.Fprintf(os.Stderr, "campaign: shard-check: scenario %d diverged:\n  P=1: %s  P=8: %s", sc.Index, seq, shd)
+			fmt.Fprintf(os.Stderr, "campaign: %s: scenario %d diverged:\n  %s: %s  %s: %s",
+				name, sc.Index, labelA, a, labelB, b)
 		}
 	}
 	if diverged > 0 {
-		fmt.Fprintf(os.Stderr, "campaign: shard-check FAILED: %d of %d scenarios diverged between P=1 and P=8\n", diverged, len(scenarios))
+		fmt.Fprintf(os.Stderr, "campaign: %s FAILED: %d of %d scenarios diverged between %s and %s\n",
+			name, diverged, len(scenarios), labelA, labelB)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "campaign: shard-check OK: %d scenarios byte-identical at P=1 and P=8\n", len(scenarios))
+	fmt.Fprintf(os.Stderr, "campaign: %s OK: %d scenarios byte-identical at %s and %s\n",
+		name, len(scenarios), labelA, labelB)
 	return 0
+}
+
+// shardCheck is the sharded-vs-sequential divergence guard: forced shard
+// counts 1 and 8 must agree.
+func shardCheck(scenarios []campaign.Scenario) int {
+	return divergenceCheck(scenarios, "shard-check", "P=1", "P=8",
+		func(sc *campaign.Scenario) { sc.Parallelism = 1 },
+		func(sc *campaign.Scenario) { sc.Parallelism = 8 })
+}
+
+// frontierCheck is the frontier-vs-dense divergence guard: forced frontier
+// and dense execution must agree (at whatever parallelism the scenarios
+// carry — combine with -parallelism to pin it).
+func frontierCheck(scenarios []campaign.Scenario) int {
+	return divergenceCheck(scenarios, "frontier-check", "dense", "frontier",
+		func(sc *campaign.Scenario) { sc.Frontier = -1 },
+		func(sc *campaign.Scenario) { sc.Frontier = 1 })
 }
 
 func main() {
@@ -94,7 +117,9 @@ func run() int {
 		quiet   = flag.Bool("quiet", false, "suppress the aggregate table on stderr")
 		timeout = flag.Duration("timeout", 0, "abort the campaign after this duration (0 = none)")
 		par     = flag.Int("parallelism", 0, "intra-run engine parallelism: >0 forces sharded engines with that worker count, <0 forces the classic sequential engines, 0 decides by scenario size")
+		front   = flag.Int("frontier", 0, "frontier-sparse AU execution: >0 forces it on, <0 forces dense execution, 0 auto-enables (records are identical either way)")
 		check   = flag.Bool("shard-check", false, "divergence guard: run every scenario sharded at P=1 and P=8 and fail if any record differs, instead of a normal campaign")
+		fcheck  = flag.Bool("frontier-check", false, "divergence guard: run every scenario dense and frontier-sparse and fail if any record differs, instead of a normal campaign")
 	)
 	flag.Parse()
 
@@ -110,10 +135,14 @@ func run() int {
 	}
 	for i := range scenarios {
 		scenarios[i].Parallelism = *par
+		scenarios[i].Frontier = *front
 	}
 
 	if *check {
 		return shardCheck(scenarios)
+	}
+	if *fcheck {
+		return frontierCheck(scenarios)
 	}
 
 	var jsonl io.Writer = os.Stdout

@@ -2,8 +2,11 @@
 // BENCH_hotpath.json perf artifact: step throughput and allocation counts on
 // scale-sweep-sized AlgAU instances, stabilization and fault-storm recovery
 // wall times, the speedup of the incremental stabilization monitor over the
-// pre-incremental full-graph rescan, and the shard-scaling series (one run
-// sharded over P ∈ {1, 2, 4, 8} workers at 10^5 nodes; -big adds 10^6).
+// pre-incremental full-graph rescan, the shard-scaling series (one run
+// sharded over P ∈ {1, 2, 4, 8} workers at 10^5 nodes; -big adds 10^6), and
+// the frontier series (dense vs frontier-sparse execution on the quiescent
+// steady step and on post-fault recovery; -frontier-gate fails the run if
+// the quiescent speedup regresses below the given ratio).
 //
 // Regenerate the committed artifact with
 //
@@ -52,13 +55,26 @@ type shardPoint struct {
 	SpeedupVsP1 float64 `json:"speedup_vs_p1"`
 }
 
+// frontierPoint is one dense/frontier pair of the frontier series: the same
+// scenario with frontier-sparse execution off and on. The runs are
+// byte-identical in results (the differential harness enforces it), so the
+// ratio isolates the execution-mode win.
+type frontierPoint struct {
+	Scenario   string  `json:"scenario"`
+	N          int     `json:"n"`
+	DenseNs    float64 `json:"dense_ns_per_op"`
+	FrontierNs float64 `json:"frontier_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
 type artifact struct {
-	Tool         string       `json:"tool"`
-	GoVersion    string       `json:"go_version"`
-	NumCPU       int          `json:"num_cpu"`
-	Benchmarks   []entry      `json:"benchmarks"`
-	Speedups     []speedup    `json:"speedups"`
-	ShardScaling []shardPoint `json:"shard_scaling"`
+	Tool           string          `json:"tool"`
+	GoVersion      string          `json:"go_version"`
+	NumCPU         int             `json:"num_cpu"`
+	Benchmarks     []entry         `json:"benchmarks"`
+	Speedups       []speedup       `json:"speedups"`
+	ShardScaling   []shardPoint    `json:"shard_scaling"`
+	FrontierSeries []frontierPoint `json:"frontier_series"`
 }
 
 func measure(name string, n, iters int, fn func(b *testing.B)) entry {
@@ -85,6 +101,7 @@ func main() {
 	out := flag.String("out", "BENCH_hotpath.json", "output path for the JSON artifact")
 	quick := flag.Bool("quick", false, "skip the slowest (n=10000 full-scan) measurements and shrink the shard series")
 	big := flag.Bool("big", false, "extend the shard-scaling series to a 10^6-node instance")
+	gate := flag.Float64("frontier-gate", 0, "fail (exit 1) if the quiescent-steady-step frontier speedup at the largest measured n falls below this ratio (0 disables); CI uses 10 to catch a regression back to Θ(n) steps")
 	testing.Init()
 	flag.Parse()
 
@@ -117,7 +134,9 @@ func main() {
 		})
 	}
 	for _, n := range []int{1000, 10000} {
-		record("stabilize", n, 5, func(m hotpath.Mode) func(b *testing.B) {
+		// 20 iterations: the stabilize ratio compares two full stacks whose
+		// gap is tens of percent; 5 iterations left it noise-dominated.
+		record("stabilize", n, 20, func(m hotpath.Mode) func(b *testing.B) {
 			return hotpath.Stabilize(n, m)
 		})
 	}
@@ -167,6 +186,52 @@ func main() {
 		shardSeries("steady-step-sharded", 1000000, 5, func(p int) func(b *testing.B) {
 			return hotpath.ShardedSteadyStep(1000000, p)
 		})
+	}
+
+	// Frontier series: dense vs frontier-sparse execution on the quiescent
+	// steady step (the regime self-stabilization workloads spend most of
+	// their life in) and on post-fault-burst recovery. The pairs walk
+	// byte-identical trajectories, so the ratio is pure execution-mode win.
+	frontierPair := func(scenario string, n, iters int, fn func(front bool) func(b *testing.B)) frontierPoint {
+		dense := measure(hotpath.FrontierName(scenario, n, false), n, iters, fn(false))
+		front := measure(hotpath.FrontierName(scenario, n, true), n, iters, fn(true))
+		a.Benchmarks = append(a.Benchmarks, dense, front)
+		fp := frontierPoint{
+			Scenario:   scenario,
+			N:          n,
+			DenseNs:    dense.NsPerOp,
+			FrontierNs: front.NsPerOp,
+			Speedup:    dense.NsPerOp / front.NsPerOp,
+		}
+		a.FrontierSeries = append(a.FrontierSeries, fp)
+		return fp
+	}
+	quiesceIters := 50
+	if *quick {
+		quiesceIters = 10
+	}
+	frontierPair("quiescent-steady-step", 10000, quiesceIters*4, func(front bool) func(b *testing.B) {
+		return hotpath.QuiescentSteadyStep(10000, front)
+	})
+	headline := frontierPair("quiescent-steady-step", 100000, quiesceIters, func(front bool) func(b *testing.B) {
+		return hotpath.QuiescentSteadyStep(100000, front)
+	})
+	recoveryIters := 10
+	if *quick {
+		recoveryIters = 3
+	}
+	frontierPair("post-fault-recovery", 10000, recoveryIters, func(front bool) func(b *testing.B) {
+		return hotpath.FrontierRecovery(10000, faults, front)
+	})
+
+	if *gate > 0 && headline.Speedup < *gate {
+		fmt.Fprintf(os.Stderr, "frontier gate FAILED: quiescent-steady-step/n=%d speedup %.2fx < required %.2fx (steady steps regressed toward Θ(n))\n",
+			headline.N, headline.Speedup, *gate)
+		os.Exit(1)
+	}
+	if *gate > 0 {
+		fmt.Fprintf(os.Stderr, "frontier gate OK: quiescent-steady-step/n=%d speedup %.2fx >= %.2fx\n",
+			headline.N, headline.Speedup, *gate)
 	}
 
 	f, err := os.Create(*out)

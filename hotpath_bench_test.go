@@ -8,10 +8,18 @@ package thinunison_test
 //
 //	go run ./cmd/hotpathbench -out BENCH_hotpath.json
 //
-// BenchmarkHotPathSteadyStep must report 0 allocs/op: the steady step loop
-// (scheduler buffers, signal scratch, round tracking, incremental
-// stabilization check) allocates nothing. The fullscan variants measure the
-// pre-incremental O(n·Δ)-per-step predicate for the speedup comparison.
+// BenchmarkHotPathSteadyStep must report 0 allocs/op AND 0 B/op: the steady
+// step loop (scheduler buffers, signal scratch, round tracking, incremental
+// stabilization check) allocates nothing. Earlier revisions reported a
+// phantom ~29 B/op at 0 allocs/op; memory profiling pinned it on
+// sched.RoundTracker's unbounded boundary history (one int appended per
+// completed round — one per step under the synchronous schedule — whose
+// amortized doubling growth billed ~29 bytes to every operation without
+// ever crossing the 0.5 allocs/op rounding threshold). The tracker now
+// keeps a fixed preallocated ring of the most recent boundaries, so the
+// steady step is genuinely allocation- and byte-free. The fullscan variants
+// measure the pre-incremental O(n·Δ)-per-step predicate for the speedup
+// comparison.
 
 import (
 	"fmt"
@@ -51,5 +59,27 @@ func BenchmarkHotPathRecovery(b *testing.B) {
 		for _, mode := range []hotpath.Mode{hotpath.Incremental, hotpath.FullScan} {
 			b.Run(fmt.Sprintf("n=%d/%s", n, mode), hotpath.Recovery(n, faults, mode))
 		}
+	}
+}
+
+// BenchmarkHotPathQuiescentSteadyStep is the in-tree slice of the frontier
+// series (the full n=10^5 curve lives in cmd/hotpathbench): a stabilized
+// instance under the starved-laggard schedule, where every step activates
+// n-1 settled no-op nodes. The frontier variant must beat dense by orders
+// of magnitude and report 0 allocs/op.
+func BenchmarkHotPathQuiescentSteadyStep(b *testing.B) {
+	const n = 10000
+	for _, frontier := range []bool{false, true} {
+		b.Run(hotpath.FrontierName("quiescent", n, frontier), hotpath.QuiescentSteadyStep(n, frontier))
+	}
+}
+
+// BenchmarkHotPathFrontierRecovery measures post-fault-burst recovery under
+// the laggard schedule with and without frontier execution: repair work is
+// localized, so dense pays Θ(n) per step for a handful of updates.
+func BenchmarkHotPathFrontierRecovery(b *testing.B) {
+	const n, faults = 1000, 16
+	for _, frontier := range []bool{false, true} {
+		b.Run(hotpath.FrontierName("recovery", n, frontier), hotpath.FrontierRecovery(n, faults, frontier))
 	}
 }

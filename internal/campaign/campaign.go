@@ -145,6 +145,13 @@ type FaultSpec struct {
 	Count int `json:"count,omitempty"`
 	// Bursts is the number of bursts (default 1 when Count > 0).
 	Bursts int `json:"bursts,omitempty"`
+	// SoakRounds inserts a steady-state stretch of that many rounds after
+	// the initial stabilization and after every burst recovery (AU
+	// scenarios). This models the regime the paper's workloads live in —
+	// long quiescent stretches punctuated by fault storms — and is where
+	// frontier-sparse execution pays: a quiescent soak step costs
+	// O(|frontier|) instead of Θ(n). 0 disables soaking.
+	SoakRounds int `json:"soak_rounds,omitempty"`
 }
 
 // Scenario is one concrete run: a point of the expanded matrix together with
@@ -178,12 +185,24 @@ type Scenario struct {
 	// sharded-vs-classic decision depends only on the scenario, so records
 	// stay machine-independent either way.
 	Parallelism int
+	// Frontier selects the AU engine's frontier-sparse execution mode:
+	// > 0 forces it on, < 0 forces dense execution, and 0 (the default)
+	// auto-enables it. Frontier runs are byte-identical to dense runs for
+	// equal seeds at every parallelism — enforced by the differential
+	// harness and by cmd/campaign -frontier-check — so the knob never
+	// changes record bytes, only wall time: near-quiescent schedules
+	// (round-robin, laggard) skip settled nodes wholesale instead of
+	// re-deriving Θ(n) no-op transitions per step.
+	Frontier int
 	// intraHint is the runner's idle-capacity suggestion for automatic
 	// intra-run parallelism (workers left over when there are fewer
 	// scenarios than pool workers). It sizes the shard pool but never
 	// changes record bytes.
 	intraHint int
 }
+
+// frontierEnabled resolves the scenario's effective frontier mode.
+func (sc Scenario) frontierEnabled() bool { return sc.Frontier >= 0 }
 
 // ShardThreshold is the node count from which Execute runs a scenario's
 // engines sharded by default: below it per-step work is too small to

@@ -38,6 +38,12 @@ const exactDiameterLimit = 512
 // by Scenario.Parallelism), while smaller scenarios rely on the runner's
 // run-level fan-out alone. The synchronized sync-mis/sync-le drivers always
 // run sequentially — their per-step activation sets are too small to shard.
+//
+// AU engines additionally run frontier-sparse by default (settled nodes are
+// skipped until their neighborhood changes; see sim.Options.Frontier),
+// opted out per scenario via Scenario.Frontier < 0. The mode is
+// byte-transparent to records. The MIS/LE drivers stay dense: those
+// programs redraw coins every round, so their frontier would never empty.
 func Execute(ctx context.Context, sc Scenario) Record {
 	start := time.Now()
 	rec := Record{
@@ -157,6 +163,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		Scheduler:   scheduler,
 		Seed:        rng.Int63(),
 		Parallelism: sc.intraParallelism(),
+		Frontier:    sc.frontierEnabled(),
 	})
 	if err != nil {
 		rec.fail(err)
@@ -173,6 +180,19 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	eng.Observe(mon)
 	cancelled := false
 	good := pollingCond(ctx, &cancelled, mon.Good)
+	// soak runs the scenario's steady-state stretch (FaultSpec.SoakRounds):
+	// quiescent rounds between fault events, abortable via the polling
+	// cancellation cond. ErrBudgetExhausted is the normal outcome — the
+	// "budget" here is exactly the stretch length.
+	abort := pollingCond(ctx, &cancelled, func() bool { return false })
+	soak := func() bool {
+		if sc.Faults.SoakRounds <= 0 {
+			return true
+		}
+		_, err := eng.RunUntil(func(*sim.Engine) bool { return abort() }, sc.Faults.SoakRounds)
+		rec.Steps = eng.StepCount()
+		return errors.Is(err, sim.ErrBudgetExhausted) && !cancelled
+	}
 	rounds, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.StepCount()
 	if cancelled {
@@ -184,6 +204,10 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		return
 	}
 	rec.OK = true
+	if !soak() {
+		rec.fail(errCancelled)
+		return
+	}
 
 	for burst := 0; burst < faultBursts(sc.Faults); burst++ {
 		eng.InjectFaults(sc.Faults.Count)
@@ -198,6 +222,10 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		}
 		if err != nil {
 			rec.fail(fmt.Errorf("AU did not recover from burst %d within %d rounds", burst, roundBudget))
+			return
+		}
+		if !soak() {
+			rec.fail(errCancelled)
 			return
 		}
 	}

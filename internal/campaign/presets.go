@@ -143,5 +143,24 @@ func presetScaleSweep(seed int64) []Scenario {
 		Faults:         []FaultSpec{{Count: 16, Bursts: 2}},
 		Trials:         1,
 	}
-	return Concat(seed, stars, bounded, trees, async)
+	// The straggler matrix is the genuinely quiescent AU regime: one starved
+	// node gates the unison wave, so between its rare activations the other
+	// n-1 nodes are activated every step as settled no-ops. (Under the
+	// default period-3 laggard and round-robin above, the clock ticks
+	// continuously — every round does Θ(n) real state changes, which no
+	// execution mode can skip.) SoakRounds adds the long stable stretches
+	// between fault storms that the paper's workloads live in; with
+	// frontier-sparse execution (the default) those stretches cost
+	// O(|frontier|) per step, while forcing dense execution (-frontier -1)
+	// pays Θ(n) — the preset's end-to-end comparison.
+	straggler := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{10_000, 100_000},
+		DiameterBounds: []int{4},
+		Schedulers:     []SchedulerSpec{{Kind: "laggard", Victim: 0, Period: 128}},
+		Algorithms:     []Algorithm{AlgAU},
+		Faults:         []FaultSpec{{Count: 16, Bursts: 2, SoakRounds: 8}},
+		Trials:         1,
+	}
+	return Concat(seed, stars, bounded, trees, async, straggler)
 }

@@ -65,8 +65,9 @@ type AU struct {
 }
 
 var (
-	_ sa.Algorithm = (*AU)(nil)
-	_ sa.Namer     = (*AU)(nil)
+	_ sa.Algorithm  = (*AU)(nil)
+	_ sa.Namer      = (*AU)(nil)
+	_ sa.SelfLooper = (*AU)(nil)
 )
 
 // NewAU returns AlgAU for diameter bound D >= 1, i.e. k = 3D + 2.
@@ -284,4 +285,20 @@ func (a *AU) Psi(l Level, j int) (Level, bool) { return a.ls.Psi(l, j) }
 func (a *AU) Transition(q sa.State, sig sa.Signal, _ *rand.Rand) sa.State {
 	_, next := a.Classify(q, sig)
 	return next
+}
+
+// SelfLoop implements sa.SelfLooper: AlgAU is deterministic and coin-free,
+// so a node is settled exactly when its Table 1 verdict is None — δ(q, sig)
+// keeps returning q until the signal changes, which is what lets
+// frontier-sparse engines skip it entirely.
+func (a *AU) SelfLoop(q sa.State, sig sa.Signal) bool {
+	typ, _ := a.Classify(q, sig)
+	return typ == None
+}
+
+// TransitionSettled implements sa.Settler: the transition and its self-loop
+// certificate from a single Table 1 classification.
+func (a *AU) TransitionSettled(q sa.State, sig sa.Signal, _ *rand.Rand) (sa.State, bool) {
+	typ, next := a.Classify(q, sig)
+	return next, typ == None
 }

@@ -111,3 +111,62 @@ func TestGoodMonitorReset(t *testing.T) {
 		t.Fatalf("uniform able configuration should be good (bad=%d)", mon.BadNodes())
 	}
 }
+
+// TestGoodMonitorAdaptiveRegimes pins the deferred→incremental life cycle:
+// the monitor starts deferred (witness scans), schedules its promotion on
+// the first good verdict, and must stay exact across every interleaving of
+// verdicts and changes around the promotion point — in particular a fault
+// burst landing between the clean scan and the lazy promotion recount.
+func TestGoodMonitorAdaptiveRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g, err := graph.BoundedDiameter(40, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, au, sim.Options{Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := core.NewGoodMonitor(au, g, eng.Config())
+	eng.Observe(mon)
+
+	// Run to the first good verdict (deferred regime throughout).
+	for i := 0; i < 10_000 && !mon.Good(); i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !mon.Good() {
+		t.Fatal("did not stabilize")
+	}
+
+	// Corrupt between the clean scan and the promotion recount: the next
+	// verdict must see the faults.
+	eng.InjectFaults(6)
+	if got, want := mon.Good(), au.GraphGood(g, eng.Config()); got != want {
+		t.Fatalf("promotion-point fault burst: Good()=%v, GraphGood=%v", got, want)
+	}
+
+	// Recover under the (now incremental) monitor; verdicts stay exact.
+	for i := 0; i < 10_000; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mon.Good(), au.GraphGood(g, eng.Config()); got != want {
+			t.Fatalf("recovery step %d: Good()=%v, GraphGood=%v", i, got, want)
+		}
+		if mon.Good() {
+			break
+		}
+	}
+	if !mon.Good() {
+		t.Fatal("did not recover")
+	}
+	if got, want := mon.BadNodes(), 0; got != want {
+		t.Fatalf("BadNodes after recovery = %d", got)
+	}
+}

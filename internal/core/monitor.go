@@ -104,49 +104,88 @@ func (m *Monitor) Check(cfg sa.Config) error {
 	return nil
 }
 
-// GoodMonitor incrementally tracks the AlgAU stabilization predicate
-// GraphGood. Instead of re-scanning every node after each step (O(n·Δ) per
-// check), it maintains per-node violation counters — unprotected incident
-// edges and faulty neighbors — and a count of not-good nodes, updated in
-// O(deg v) per changed node. The stabilization check itself becomes O(1)
-// (O(P) on a P-sharded engine).
+// maxWitnesses bounds the bad-node witness cache of a deferred GoodMonitor:
+// each deferred Good() check first re-tests the cached witnesses in O(Δ)
+// before falling back to a scan, and each scan refills the cache with the
+// first maxWitnesses bad nodes it passes, so near-quiescent churn phases
+// rarely rescan.
+const maxWitnesses = 8
+
+// GoodMonitor tracks the AlgAU stabilization predicate GraphGood, adapting
+// its strategy to the regime:
+//
+//   - During churn (from construction until the graph first turns good) it
+//     runs *deferred*: Apply is a single raw-state store (no decode, no
+//     neighbor walk), and Good() answers by checking a small cache of
+//     known-bad witnesses in O(Δ) — falling back to an early-exit scan only
+//     when every witness has healed. While the graph is bad this is as
+//     cheap as the full-scan predicate's short circuit, without the
+//     counter-maintenance overhead that used to make the incremental
+//     monitor a net loss on stabilization sweeps (0.77–0.92x vs full scan).
+//   - On the first good verdict it *promotes* to incremental: per-node
+//     violation counters — unprotected incident edges and faulty neighbors —
+//     plus a not-good node count, maintained in O(deg v) per change, make
+//     every further check O(1) (O(P) sharded). The promotion recount itself
+//     is lazy — it runs on the Good() call after the one that turned good,
+//     so a run that stops at stabilization never pays it. Fault bursts into
+//     a stabilized run are exactly the regime where the counters win by
+//     orders of magnitude (see the recovery series of BENCH_hotpath.json).
 //
 // It implements sim.ConfigObserver: register it on an engine with
 // Engine.Observe and it sees every node state change (steps, SetState,
 // InjectFaults). Good() then always agrees with au.GraphGood(g, cfg).
 //
-// It also implements sim.ShardedObserver: its counter maintenance is
-// order-independent, and on a sharded engine the not-good count is kept per
-// shard, so workers apply their shard's interior changes concurrently —
-// every counter touched when an interior node changes belongs to that
-// node's shard — and Good combines the per-shard counts in O(P).
+// It also implements sim.ShardedObserver: its maintenance is
+// order-independent and per-node (deferred) or per-shard (incremental), so
+// on a sharded engine workers apply their shard's interior changes
+// concurrently — every slot touched when an interior node changes belongs
+// to that node's shard — and Good combines the per-shard counts in O(P).
 type GoodMonitor struct {
 	au *AU
 	g  *graph.Graph
 
-	level   []Level // current level λ_v per node
-	faulty  []bool  // current faulty flag per node
+	raw []sa.State // mirror of the configuration (deferred-regime state)
+
+	level  []Level // current level λ_v per node (incremental regime)
+	faulty []bool  // current faulty flag per node (incremental regime)
+
+	deferred  bool  // true until the promotion recount has run
+	promote   bool  // the graph turned good; recount on the next Good()
+	witnesses []int // recently observed bad nodes (deferred mode only)
+
 	unprot  []int32 // number of unprotected incident edges per node
 	fnbrs   []int32 // number of faulty neighbors per node
 	bad     []int   // not-good node counts; one slot per shard (one total when unsharded)
 	shardOf []int32 // owner-shard table from AttachShards; nil when unsharded
 }
 
-// NewGoodMonitor returns a monitor initialized from cfg (a full O(n·Δ) scan —
-// the last one the stabilization check needs).
+// NewGoodMonitor returns a monitor initialized from cfg. It starts in the
+// deferred regime (an O(n) raw copy, no decode, no counter scan); the
+// incremental counters are built once, when the graph first turns good.
 func NewGoodMonitor(au *AU, g *graph.Graph, cfg sa.Config) *GoodMonitor {
 	n := g.N()
 	m := &GoodMonitor{
-		au:     au,
-		g:      g,
-		level:  make([]Level, n),
-		faulty: make([]bool, n),
-		unprot: make([]int32, n),
-		fnbrs:  make([]int32, n),
-		bad:    make([]int, 1),
+		au:       au,
+		g:        g,
+		raw:      make([]sa.State, n),
+		level:    make([]Level, n),
+		faulty:   make([]bool, n),
+		unprot:   make([]int32, n),
+		fnbrs:    make([]int32, n),
+		bad:      make([]int, 1),
+		deferred: true,
 	}
-	m.Reset(cfg)
+	copy(m.raw, cfg)
 	return m
+}
+
+// decode rebuilds the per-node turn decode from the raw mirror.
+func (m *GoodMonitor) decode() {
+	for v, q := range m.raw {
+		t := m.au.Turn(q)
+		m.level[v] = t.Level
+		m.faulty[v] = t.Faulty
+	}
 }
 
 // AttachShards implements sim.ShardedObserver: the monitor re-buckets its
@@ -159,10 +198,8 @@ func (m *GoodMonitor) AttachShards(shardOf []int32, nshards int) {
 	}
 	m.shardOf = shardOf
 	m.bad = make([]int, nshards)
-	for v := 0; v < m.g.N(); v++ {
-		if !m.nodeGood(v) {
-			m.bad[m.shard(v)]++
-		}
+	if !m.deferred {
+		m.recount()
 	}
 }
 
@@ -174,14 +211,23 @@ func (m *GoodMonitor) shard(v int) int {
 	return int(m.shardOf[v])
 }
 
-// Reset recomputes all counters from cfg. Use it when the configuration was
-// rewritten wholesale outside the monitor's view.
+// Reset reloads the monitor from cfg. Use it when the configuration was
+// rewritten wholesale outside the monitor's view. The current regime is
+// kept: an incremental monitor rebuilds its counters, a deferred one only
+// refreshes its turn mirror (and drops its witnesses).
 func (m *GoodMonitor) Reset(cfg sa.Config) {
-	for v := range cfg {
-		t := m.au.Turn(cfg[v])
-		m.level[v] = t.Level
-		m.faulty[v] = t.Faulty
+	copy(m.raw, cfg)
+	m.witnesses = m.witnesses[:0]
+	m.promote = false
+	if !m.deferred {
+		m.decode()
+		m.recount()
 	}
+}
+
+// recount rebuilds the violation counters and per-shard bad counts from the
+// turn mirror — the one full O(n·Δ) pass of a promotion.
+func (m *GoodMonitor) recount() {
 	for s := range m.bad {
 		m.bad[s] = 0
 	}
@@ -204,16 +250,38 @@ func (m *GoodMonitor) Reset(cfg sa.Config) {
 }
 
 // nodeGood mirrors AU.NodeGood over the counters: able, all incident edges
-// protected, no faulty neighbor.
+// protected, no faulty neighbor. Valid only in the incremental regime.
 func (m *GoodMonitor) nodeGood(v int) bool {
 	return !m.faulty[v] && m.unprot[v] == 0 && m.fnbrs[v] == 0
 }
 
-// Apply implements sim.ConfigObserver: node v changed its state to q. The
-// update costs O(deg v) and keeps Good() consistent. Applying a sequence of
-// single-node changes in any order yields the counters of the final
-// configuration, so simultaneous updates may be fed one node at a time.
+// nodeGoodScan re-derives NodeGood from the raw mirror in O(deg v),
+// without counters — the deferred regime's primitive.
+func (m *GoodMonitor) nodeGoodScan(v int) bool {
+	tv := m.au.Turn(m.raw[v])
+	if tv.Faulty {
+		return false
+	}
+	for _, u := range m.g.Neighbors(v) {
+		tu := m.au.Turn(m.raw[u])
+		if tu.Faulty || !m.au.ls.Adjacent(tv.Level, tu.Level) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply implements sim.ConfigObserver: node v changed its state to q. In
+// the deferred regime it is a single raw-mirror store; in the incremental
+// regime the update costs O(deg v) and keeps Good() consistent. Applying a
+// sequence of single-node changes in any order yields the state of the
+// final configuration, so simultaneous updates may be fed one node at a
+// time.
 func (m *GoodMonitor) Apply(v int, q sa.State) {
+	if m.deferred {
+		m.raw[v] = q
+		return
+	}
 	t := m.au.Turn(q)
 	oldL, oldF := m.level[v], m.faulty[v]
 	newL, newF := t.Level, t.Faulty
@@ -265,8 +333,15 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 }
 
 // Good reports whether the graph is good (every node good) — the AlgAU
-// stabilization condition — in O(1) (O(P) per-shard combine when sharded).
+// stabilization condition. In the incremental regime (after the graph first
+// turned good) it is O(1) (O(P) per-shard combine when sharded). In the
+// deferred regime it re-tests the cached bad witnesses in O(Δ) and only
+// scans — with early exit, refilling the witness cache — when all of them
+// have healed; the scan that finds no bad node is the promotion point.
 func (m *GoodMonitor) Good() bool {
+	if m.deferred {
+		return m.goodDeferred()
+	}
 	for _, b := range m.bad {
 		if b != 0 {
 			return false
@@ -275,9 +350,78 @@ func (m *GoodMonitor) Good() bool {
 	return true
 }
 
+// goodDeferred is the deferred-regime Good: witness check, then early-exit
+// scan, then promotion when the scan comes up clean.
+func (m *GoodMonitor) goodDeferred() bool {
+	if m.promote {
+		// The previous check found the graph good; build the incremental
+		// counters now (concurrency-safe: Good runs on the coordinator
+		// between steps, never during a sharded merge).
+		m.promote = false
+		m.deferred = false
+		m.decode()
+		m.recount()
+		for _, b := range m.bad {
+			if b != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	keep := m.witnesses[:0]
+	for _, w := range m.witnesses {
+		if !m.nodeGoodScan(w) {
+			keep = append(keep, w)
+		}
+	}
+	m.witnesses = keep
+	if len(m.witnesses) > 0 {
+		return false
+	}
+	// Early-exit scan: stop at the first bad node, collecting a few extra
+	// witnesses within a bounded overscan so endgame phases (few, scattered
+	// bad nodes) do not rescan from scratch every step.
+	n := m.g.N()
+	limit := n
+	for v := 0; v < limit; v++ {
+		if !m.nodeGoodScan(v) {
+			if len(m.witnesses) == 0 {
+				if over := 2*v + 256; over < limit {
+					limit = over
+				}
+			}
+			m.witnesses = append(m.witnesses, v)
+			if len(m.witnesses) >= maxWitnesses {
+				break
+			}
+		}
+	}
+	if len(m.witnesses) > 0 {
+		return false
+	}
+	// The graph is good: schedule the promotion to the incremental regime.
+	// By Lem. 2.10 a good graph stays good, so from here on the counters pay
+	// for themselves — every later check (and every fault-burst recovery)
+	// is O(1) instead of a rescan. The recount itself runs on the next
+	// call, so a run that stops at stabilization never pays it.
+	m.promote = true
+	return true
+}
+
 // BadNodes returns the current number of not-good nodes (a progress metric
-// for traces and campaigns), combining the per-shard counts in O(P).
+// for traces and campaigns). Incremental regime: an O(P) per-shard combine.
+// Deferred regime: a full O(n·Δ) recount — this is an oracle-priced
+// diagnostic there, not a hot-path primitive.
 func (m *GoodMonitor) BadNodes() int {
+	if m.deferred {
+		total := 0
+		for v := 0; v < m.g.N(); v++ {
+			if !m.nodeGoodScan(v) {
+				total++
+			}
+		}
+		return total
+	}
 	total := 0
 	for _, b := range m.bad {
 		total += b

@@ -9,9 +9,11 @@
 // steady step loop is allocation-free, the incremental stabilization monitor
 // (core.GoodMonitor) replaces the O(n·Δ) per-step GraphGood rescan with
 // O(|A_t|·Δ) bookkeeping — the full-scan variants exist solely to measure
-// that speedup — and the sharded execution mode (internal/shard) scales a
+// that speedup — the sharded execution mode (internal/shard) scales a
 // single large run across cores, measured by the Sharded* scenarios at
-// P ∈ {1, 2, 4, 8}.
+// P ∈ {1, 2, 4, 8}, and the frontier-sparse mode (sim.Options.Frontier)
+// makes near-quiescent steps O(|frontier|) instead of Θ(n), measured by the
+// QuiescentSteadyStep and FrontierRecovery dense/frontier pairs.
 package hotpath
 
 import (
@@ -22,6 +24,7 @@ import (
 	"thinunison/internal/budget"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
+	"thinunison/internal/sa"
 	"thinunison/internal/sched"
 	"thinunison/internal/sim"
 )
@@ -106,8 +109,17 @@ func SteadyStep(n int) func(b *testing.B) {
 }
 
 // Stabilize measures one full AlgAU stabilization from a random adversarial
-// configuration on an n-node instance under the synchronous scheduler, with
-// the stabilization predicate evaluated per the mode.
+// configuration on an n-node instance under the synchronous scheduler. The
+// mode selects the whole hot-path generation: Incremental is today's stack
+// (frontier-sparse execution plus the adaptive GoodMonitor, which defers
+// its counter build until the graph first turns good), FullScan is the
+// legacy stack (dense execution, GraphGood rescan per step). Both walk
+// byte-identical trajectories — same rounds/op — so the ratio is pure
+// bookkeeping cost. This scenario is the incremental machinery's worst
+// case: under the synchronous schedule almost every node changes every
+// step, which is exactly why the monitor defers and the engine certifies
+// settled nodes inline instead of maintaining counters through the churn
+// (the pre-adaptive monitor lost 8–23% here).
 func Stabilize(n int, mode Mode) func(b *testing.B) {
 	return func(b *testing.B) {
 		g, au, err := buildInstance(n, 1)
@@ -118,7 +130,7 @@ func Stabilize(n int, mode Mode) func(b *testing.B) {
 		total := 0
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			eng, err := sim.New(g, au, sim.Options{Seed: int64(i)})
+			eng, err := sim.New(g, au, sim.Options{Seed: int64(i), Frontier: mode == Incremental})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -170,6 +182,133 @@ func Recovery(n, faults int, mode Mode) func(b *testing.B) {
 // BenchmarkHotPath* sub-benchmarks and the JSON artifact.
 func Name(scenario string, n int, mode Mode) string {
 	return fmt.Sprintf("%s/n=%d/%s", scenario, n, mode)
+}
+
+// FrontierName returns the canonical name of a frontier-series scenario.
+func FrontierName(scenario string, n int, frontier bool) string {
+	m := "dense"
+	if frontier {
+		m = "frontier"
+	}
+	return fmt.Sprintf("%s/n=%d/%s", scenario, n, m)
+}
+
+// quiescentPeriod starves the laggard victim essentially forever, pinning
+// the benchmark in the pure quiescent regime: after the initial wave stalls,
+// every step activates n-1 settled nodes and changes nothing.
+const quiescentPeriod = 1 << 20
+
+// stabilizedConfig runs a synchronous instance to stabilization and returns
+// the resulting good configuration, the shared starting point of the
+// frontier-series scenarios.
+func stabilizedConfig(b *testing.B, g *graph.Graph, au *core.AU) sa.Config {
+	b.Helper()
+	eng, err := sim.New(g, au, sim.Options{Seed: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cond := goodCond(Incremental, au, g, eng)
+	if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
+		b.Fatal(err)
+	}
+	return eng.Config().Clone()
+}
+
+// QuiescentSteadyStep measures one engine step on a stabilized n-node
+// instance under the laggard scheduler with an effectively infinite period —
+// the canonical quiescent regime of self-stabilization workloads: n-1 nodes
+// are activated every step and every one of them is a settled no-op. Dense
+// execution re-derives Θ(n) signals and transitions per step; frontier
+// execution skips them all, so the dense/frontier ratio is the headline
+// number of BENCH_hotpath.json's frontier series.
+func QuiescentSteadyStep(n int, frontier bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := stabilizedConfig(b, g, au)
+		eng, err := sim.New(g, au, sim.Options{
+			Initial:   cfg,
+			Scheduler: sched.NewLaggard(0, quiescentPeriod),
+			Seed:      4,
+			Frontier:  frontier,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := core.NewGoodMonitor(au, g, eng.Config())
+		eng.Observe(mon)
+		// Warm up past the post-switch wave: non-victim nodes advance until
+		// the starved victim stalls them, then the whole graph is quiescent.
+		for i := 0; i < 8; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !mon.Good() {
+			b.Fatal("stabilized instance left the good set during warm-up")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+			if !mon.Good() {
+				b.Fatal("quiescent instance left the good set")
+			}
+		}
+	}
+}
+
+// FrontierRecovery measures one fault-burst recovery on a stabilized n-node
+// instance under the laggard scheduler (period 8): each iteration corrupts
+// faults random nodes and runs back to the good set. Recovery work is
+// localized around the fault sites, so dense execution pays Θ(n) per step
+// for a handful of real updates while frontier execution pays only for the
+// repair wave — the post-fault-recovery series of BENCH_hotpath.json.
+func FrontierRecovery(n, faults int, frontier bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := stabilizedConfig(b, g, au)
+		eng, err := sim.New(g, au, sim.Options{
+			Initial:   cfg,
+			Scheduler: sched.NewLaggard(0, 8),
+			Seed:      4,
+			Frontier:  frontier,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := core.NewGoodMonitor(au, g, eng.Config())
+		eng.Observe(mon)
+		cond := func(*sim.Engine) bool { return mon.Good() }
+		roundBudget := budget.AU(au.K())
+		// Warm up two full rounds so the scheduler-switch wave settles and
+		// the frontier drains before timing starts (cond is already true
+		// here, so a RunUntil would return without stepping).
+		if err := eng.RunRounds(2); err != nil {
+			b.Fatal(err)
+		}
+		if !cond(eng) {
+			b.Fatal("stabilized instance left the good set during warm-up")
+		}
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			eng.InjectFaults(faults)
+			r, err := eng.RunUntil(cond, roundBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+	}
 }
 
 // ShardName returns the canonical name of a shard-scaling scenario.

@@ -157,6 +157,34 @@ type Algorithm interface {
 	Transition(q State, sig Signal, rng *rand.Rand) State
 }
 
+// SelfLooper is an optional extension of Algorithm enabling frontier-sparse
+// execution: SelfLoop(q, sig) reports whether δ(q, sig) is deterministically
+// the self-loop {q} with no coin toss. Activating such a node provably
+// leaves both the configuration and the rng stream untouched, so an engine
+// may skip it wholesale — without perturbing the shared coin-toss stream of
+// a classic sequential run — until its own state or a neighbor's state
+// changes and the pair (q, sig) must be re-certified.
+//
+// Implementations must be sound: a true verdict for (q, sig) asserts that
+// Transition(q, sig, rng) returns q and draws nothing from rng, for every
+// rng. False negatives merely cost performance; a false positive breaks the
+// frontier/classic equivalence the differential harness enforces.
+type SelfLooper interface {
+	SelfLoop(q State, sig Signal) bool
+}
+
+// Settler is an optional refinement of SelfLooper for algorithms that can
+// report the self-loop certificate together with the transition itself —
+// one δ evaluation instead of two on no-op steps, which is what the
+// frontier engines' certification path uses when available.
+type Settler interface {
+	SelfLooper
+	// TransitionSettled is Transition plus the SelfLoop verdict of (q, sig):
+	// settled reports that δ(q, sig) is deterministically {q} with no coin
+	// toss (it implies next == q).
+	TransitionSettled(q State, sig Signal, rng *rand.Rand) (next State, settled bool)
+}
+
 // Namer is an optional extension of Algorithm providing human-readable state
 // names for traces, diagrams and error messages.
 type Namer interface {

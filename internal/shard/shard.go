@@ -109,6 +109,12 @@ func (pt *Partition) N() int { return len(pt.shardOf) }
 // Range returns the node range [lo, hi) owned by shard s.
 func (pt *Partition) Range(s int) (lo, hi int) { return pt.starts[s], pt.starts[s+1] }
 
+// Starts returns the shard bounds: len P+1, shard s owns nodes
+// [Starts()[s], Starts()[s+1]). The slice is owned by the partition and
+// must not be modified; per-shard frontier sets (internal/frontier) are
+// built over it so each shard's dirty bits live in their own word array.
+func (pt *Partition) Starts() []int { return pt.starts }
+
 // ShardOf returns the shard owning node v.
 func (pt *Partition) ShardOf(v int) int { return int(pt.shardOf[v]) }
 

@@ -15,6 +15,13 @@
 // step's staging over a persistent worker pool, with transition coin tosses
 // drawn from counter-based per-(step, node) streams so a sharded run is
 // byte-identical to a sequential run of the same seed at any worker count.
+//
+// Near-quiescent runs go frontier-sparse: Options.Frontier maintains a
+// per-node settled flag (δ on the current signal is certified a coin-free
+// self-loop by the algorithm's sa.SelfLooper capability) and skips settled
+// activated nodes wholesale, so a step costs O(|A_t ∩ frontier|·Δ) rather
+// than O(|A_t|·Δ) while staying byte-identical to the dense run at every
+// parallelism.
 package sim
 
 import (
@@ -23,6 +30,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"thinunison/internal/frontier"
 	"thinunison/internal/graph"
 	"thinunison/internal/randx"
 	"thinunison/internal/sa"
@@ -92,7 +100,28 @@ type Engine struct {
 	faultBuf      []int // reusable permutation buffer for InjectFaults
 	actBuf        []int // canonicalization buffer for unsorted activation lists
 
-	par *parRuntime // sharded-execution runtime; nil in classic mode
+	par *parRuntime      // sharded-execution runtime; nil in classic mode
+	fr  *frontierRuntime // frontier-sparse runtime; nil in dense mode
+}
+
+// frontierRuntime holds the frontier-sparse execution state of an engine:
+// the dirty set of unsettled nodes (per-shard word arrays when sharded) and
+// the algorithm's self-loop certifier. A node leaves the frontier when an
+// evaluation certifies its (state, signal) pair as a deterministic coin-free
+// self-loop, and re-enters — in O(deg v), the same CSR walk core.GoodMonitor
+// uses — whenever it or a neighbor changes state or suffers a fault.
+type frontierRuntime struct {
+	set     *frontier.Set
+	looper  sa.SelfLooper
+	settler sa.Settler // non-nil when the algorithm fuses δ and the certificate
+
+	evalBuf []int // A_t ∩ frontier scratch for non-sparse schedulers
+	lastBuf []int // lazy LastActivated materialization buffer
+
+	// lastFull / lastAllBut describe the most recent step's full activation
+	// set when a SparseActivator summarized it instead of materializing it.
+	lastFull   bool
+	lastAllBut int
 }
 
 // parRuntime holds the sharded-execution state of an engine: the partition,
@@ -151,6 +180,25 @@ type Options struct {
 	// tosses are drawn from the engine's single rng stream in activation
 	// order.
 	Parallelism int
+
+	// Frontier enables frontier-sparse execution: the engine maintains a
+	// per-node settled flag (node v is settled when δ applied to its current
+	// signal is deterministically a self-loop with no coin toss, as certified
+	// by the algorithm's sa.SelfLooper capability) and skips settled
+	// activated nodes wholesale, so a step costs O(|A_t ∩ frontier|·Δ)
+	// instead of O(|A_t|·Δ). Schedulers implementing sched.SparseActivator
+	// additionally stop materializing O(n) activation slices.
+	//
+	// Frontier runs are byte-identical to dense runs of the same seed at
+	// every Parallelism: a skipped node provably keeps its state and — by
+	// the SelfLooper contract — would have consumed no randomness, so the
+	// classic engine's shared rng stream and the sharded engines'
+	// per-(step, node) streams are both undisturbed. The differential
+	// harness in internal/sim and internal/campaign enforces this.
+	//
+	// The option is ignored (dense execution) when the algorithm does not
+	// implement sa.SelfLooper.
+	Frontier bool
 }
 
 // New returns an engine for alg on g.
@@ -187,6 +235,14 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		signal:  sa.NewSignal(alg.NumStates()),
 		tracker: sched.NewRoundTracker(g.N()),
 	}
+	if opts.Frontier {
+		if lp, ok := alg.(sa.SelfLooper); ok {
+			e.fr = &frontierRuntime{looper: lp, lastAllBut: -1}
+			if st, ok := alg.(sa.Settler); ok {
+				e.fr.settler = st
+			}
+		}
+	}
 	if opts.Parallelism >= 1 {
 		part := shard.NewPartition(g, opts.Parallelism)
 		p := part.P()
@@ -214,20 +270,42 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 			res := pr.res[s][:0]
 			rng, seq := pr.rngs[s], pr.seqs[s]
 			sig := &pr.sigs[s]
-			for _, v := range acts {
-				seq.Reseed(randx.NodeSeed(pr.seed, e.step, v))
-				e.SignalOf(v, sig)
-				res = append(res, e.alg.Transition(e.cfg[v], *sig, rng))
+			if fr := e.fr; fr != nil {
+				for _, v := range acts {
+					seq.Reseed(randx.NodeSeed(pr.seed, e.step, v))
+					e.SignalOf(v, sig)
+					q, settled := fr.evalNode(e, v, sig, rng)
+					res = append(res, q)
+					if settled {
+						// Settle-clear: only v's own (in-shard) bit is
+						// touched, and any invalidation by a changing
+						// neighbor happens in a later phase, so sets always
+						// win over clears.
+						fr.set.Remove(v)
+					}
+				}
+			} else {
+				for _, v := range acts {
+					seq.Reseed(randx.NodeSeed(pr.seed, e.step, v))
+					e.SignalOf(v, sig)
+					res = append(res, e.alg.Transition(e.cfg[v], *sig, rng))
+				}
 			}
 			pr.res[s] = res
 		}
 		pr.applyInterior = func(s int) {
+			fr := e.fr
 			for i, v := range pr.acts[s] {
 				if !pr.part.Interior(v) {
 					continue
 				}
 				if q := pr.res[s][i]; q != e.cfg[v] {
 					e.cfg[v] = q
+					if fr != nil {
+						// An interior node's whole neighborhood lives in its
+						// owner shard, so these dirty bits never race.
+						fr.invalidate(e.g, v)
+					}
 					if pr.shObs != nil {
 						pr.shObs.Apply(v, q)
 					}
@@ -236,7 +314,37 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		}
 		e.par = pr
 	}
+	if e.fr != nil {
+		if e.par != nil {
+			e.fr.set = frontier.NewSharded(g.N(), e.par.part.Starts(), e.par.part.ShardIndex())
+		} else {
+			e.fr.set = frontier.New(g.N())
+		}
+		e.fr.set.Fill() // nothing is certified yet: every node starts dirty
+	}
 	return e, nil
+}
+
+// evalNode runs δ for node v together with the frontier certificate: the
+// next state plus whether v settles (its (state, signal) pair is a
+// certified coin-free self-loop). Algorithms implementing sa.Settler fuse
+// the two into one δ evaluation; otherwise the certificate costs a second
+// SelfLoop call on no-op transitions only.
+func (fr *frontierRuntime) evalNode(e *Engine, v int, sig *sa.Signal, rng *rand.Rand) (sa.State, bool) {
+	if fr.settler != nil {
+		return fr.settler.TransitionSettled(e.cfg[v], *sig, rng)
+	}
+	q := e.alg.Transition(e.cfg[v], *sig, rng)
+	return q, q == e.cfg[v] && fr.looper.SelfLoop(e.cfg[v], *sig)
+}
+
+// invalidate re-dirties node v and its neighbors: v's state changed, so the
+// settled certificates of everything sensing v are void.
+func (fr *frontierRuntime) invalidate(g *graph.Graph, v int) {
+	fr.set.Add(v)
+	for _, u := range g.Neighbors(v) {
+		fr.set.Add(u)
+	}
 }
 
 // Close releases the worker goroutines of a sharded engine (Parallelism >=
@@ -291,6 +399,9 @@ func (e *Engine) SetState(v int, q sa.State) error {
 		return fmt.Errorf("sim: state %d out of range", q)
 	}
 	e.cfg[v] = q
+	if e.fr != nil {
+		e.fr.invalidate(e.g, v)
+	}
 	if e.obs != nil {
 		e.obs.Apply(v, q)
 	}
@@ -310,6 +421,9 @@ func (e *Engine) InjectFaults(count int) []int {
 	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
 	for _, v := range hit {
 		e.cfg[v] = e.rng.Intn(e.alg.NumStates())
+		if e.fr != nil {
+			e.fr.invalidate(e.g, v)
+		}
 		if e.obs != nil {
 			e.obs.Apply(v, e.cfg[v])
 		}
@@ -327,14 +441,18 @@ func (e *Engine) InjectFaults(count int) []int {
 // paper's simultaneous-update semantics. On a sharded engine the staging
 // fans out across the worker pool; see Options.Parallelism.
 func (e *Engine) Step() error {
-	activated := canonActivations(e.sched.Activations(e.step, e.g.N()), &e.actBuf)
-	if e.par != nil {
-		e.stepSharded(activated)
+	if e.fr != nil {
+		e.stepFrontier()
 	} else {
-		e.stepSequential(activated)
+		activated := canonActivations(e.sched.Activations(e.step, e.g.N()), &e.actBuf)
+		if e.par != nil {
+			e.stepSharded(activated)
+		} else {
+			e.stepSequential(activated)
+		}
+		e.tracker.Observe(activated)
+		e.lastActivated = activated
 	}
-	e.tracker.Observe(activated)
-	e.lastActivated = activated
 	e.step++
 	for _, h := range e.hooks {
 		if err := h(e); err != nil {
@@ -342,6 +460,145 @@ func (e *Engine) Step() error {
 		}
 	}
 	return nil
+}
+
+// stepFrontier is the frontier-sparse step body: the scheduler's activation
+// set is intersected with the dirty frontier — via the scheduler's
+// SparseActivator fast path when it has one, by scanning the activation
+// list otherwise — and only the surviving nodes are evaluated. Settled
+// activated nodes are skipped wholesale; round tracking still counts the
+// full A_t, summarized in O(1) when the sparse path reports it as V or
+// V \ {v} instead of a list.
+func (e *Engine) stepFrontier() {
+	fr := e.fr
+	n := e.g.N()
+	var eval []int
+	fr.lastFull, fr.lastAllBut = false, -1
+	if sp, ok := e.sched.(sched.SparseActivator); ok {
+		raw, cov := sp.SparseActivations(e.step, n, fr.set)
+		eval = canonActivations(raw, &e.actBuf)
+		switch {
+		case cov.Full:
+			e.tracker.ObserveFull()
+			fr.lastFull = true
+			e.lastActivated = nil
+		case cov.AllBut >= 0:
+			e.tracker.ObserveAllBut(cov.AllBut)
+			fr.lastAllBut = cov.AllBut
+			e.lastActivated = nil
+		default:
+			e.tracker.Observe(cov.List)
+			e.lastActivated = cov.List
+		}
+	} else {
+		activated := canonActivations(e.sched.Activations(e.step, n), &e.actBuf)
+		buf := fr.evalBuf[:0]
+		for _, v := range activated {
+			if fr.set.Contains(v) {
+				buf = append(buf, v)
+			}
+		}
+		fr.evalBuf = buf
+		eval = buf
+		e.tracker.Observe(activated)
+		e.lastActivated = activated
+	}
+	if e.par != nil {
+		e.stepShardedFrontier(eval)
+	} else {
+		e.stepSequentialFrontier(eval)
+	}
+}
+
+// stepSequentialFrontier stages the evaluation set's new states against C_t
+// (settle-certifying no-op nodes on the way), then applies the changes in
+// ascending node order, invalidating each changed node's neighborhood.
+func (e *Engine) stepSequentialFrontier(eval []int) {
+	fr := e.fr
+	e.scratch = e.scratch[:0]
+	for _, v := range eval {
+		e.SignalOf(v, &e.signal)
+		q, settled := fr.evalNode(e, v, &e.signal, e.rng)
+		e.scratch = append(e.scratch, q)
+		if settled {
+			// Clears happen strictly before the apply loop's invalidation
+			// sets, so a neighbor changing in this same step re-dirties v.
+			fr.set.Remove(v)
+		}
+	}
+	for i, v := range eval {
+		q := e.scratch[i]
+		if q == e.cfg[v] {
+			continue
+		}
+		e.cfg[v] = q
+		fr.invalidate(e.g, v)
+		if e.obs != nil {
+			e.obs.Apply(v, q)
+		}
+	}
+}
+
+// stepShardedFrontier is stepSharded over the evaluation set: staging
+// settle-clears own-shard bits, the interior merge invalidates own-shard
+// neighborhoods concurrently, and boundary updates invalidate cross-shard
+// through the coordinator.
+func (e *Engine) stepShardedFrontier(eval []int) {
+	pr := e.par
+	fr := e.fr
+	p := pr.part.P()
+
+	if len(eval) == e.g.N() {
+		// Every node is dirty and activated (the first steps of a run):
+		// the canonical full set buckets into the partition's contiguous
+		// ranges — alias them instead of copying.
+		for s := 0; s < p; s++ {
+			lo, hi := pr.part.Range(s)
+			pr.acts[s] = eval[lo:hi]
+		}
+	} else {
+		for s := 0; s < p; s++ {
+			pr.actBufs[s] = pr.actBufs[s][:0]
+		}
+		for _, v := range eval {
+			s := pr.part.ShardOf(v)
+			pr.actBufs[s] = append(pr.actBufs[s], v)
+		}
+		copy(pr.acts, pr.actBufs)
+	}
+
+	pr.pool.Run(pr.stage)
+
+	if e.obs != nil && pr.shObs == nil {
+		// Order-sensitive observer: sequential canonical merge (shards
+		// ascend and buckets ascend within shards).
+		for s := 0; s < p; s++ {
+			for i, v := range pr.acts[s] {
+				if q := pr.res[s][i]; q != e.cfg[v] {
+					e.cfg[v] = q
+					fr.invalidate(e.g, v)
+					e.obs.Apply(v, q)
+				}
+			}
+		}
+		return
+	}
+
+	pr.pool.Run(pr.applyInterior)
+	for s := 0; s < p; s++ {
+		for i, v := range pr.acts[s] {
+			if pr.part.Interior(v) {
+				continue
+			}
+			if q := pr.res[s][i]; q != e.cfg[v] {
+				e.cfg[v] = q
+				fr.invalidate(e.g, v)
+				if e.obs != nil {
+					e.obs.Apply(v, q)
+				}
+			}
+		}
+	}
 }
 
 // canonActivations returns the activation set in canonical form: strictly
@@ -479,11 +736,38 @@ func (e *Engine) StepCount() int { return e.step }
 // Rounds returns the number of completed rounds R(i) <= current time.
 func (e *Engine) Rounds() int { return e.tracker.Rounds() }
 
-// RoundBoundary returns R(i) in steps.
+// RoundBoundary returns R(i) in steps. Only the most recent boundaries are
+// retained (see sched.RoundTracker.Boundary).
 func (e *Engine) RoundBoundary(i int) int { return e.tracker.Boundary(i) }
 
-// LastActivated returns the activation set of the most recent step.
-func (e *Engine) LastActivated() []int { return e.lastActivated }
+// LastActivated returns the activation set of the most recent step. On a
+// frontier engine whose scheduler summarized A_t instead of materializing
+// it, the set is materialized lazily here — the O(n) cost is paid only by
+// callers that actually inspect it.
+func (e *Engine) LastActivated() []int {
+	if e.fr != nil && (e.fr.lastFull || e.fr.lastAllBut >= 0) {
+		buf := e.fr.lastBuf[:0]
+		for v := 0; v < e.g.N(); v++ {
+			if v == e.fr.lastAllBut {
+				continue
+			}
+			buf = append(buf, v)
+		}
+		e.fr.lastBuf = buf
+		return buf
+	}
+	return e.lastActivated
+}
+
+// FrontierLen returns the number of unsettled nodes of a frontier-sparse
+// engine, or -1 when frontier mode is inactive (Options.Frontier unset, or
+// an algorithm without the sa.SelfLooper capability).
+func (e *Engine) FrontierLen() int {
+	if e.fr == nil {
+		return -1
+	}
+	return e.fr.set.Len()
+}
 
 // RunRounds executes steps until the given number of additional rounds have
 // completed.

@@ -1,0 +1,148 @@
+package syncsim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/syncsim"
+)
+
+// gossip is a synthetic program with a genuine fixed point, built to
+// exercise frontier-sparse rounds: a node adopts the maximum value it
+// senses (flipping a cosmetic coin when it does — so unsettled evaluations
+// consume randomness, pinning the rng-stream part of the settled contract),
+// and is settled exactly when no sensed value exceeds its own.
+type gossip struct {
+	Val  int
+	Coin bool
+}
+
+func gossipStep(self gossip, sensed []gossip, rng *rand.Rand) gossip {
+	m := self.Val
+	for _, u := range sensed {
+		if u.Val > m {
+			m = u.Val
+		}
+	}
+	if m > self.Val {
+		return gossip{Val: m, Coin: rng.Intn(2) == 1}
+	}
+	return self
+}
+
+func gossipSettled(self gossip, sensed []gossip) bool {
+	for _, u := range sensed {
+		if u.Val > self.Val {
+			return false
+		}
+	}
+	return true
+}
+
+func gossipGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.BoundedDiameter(72, 4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func gossipInitial(n int, seed int64) []gossip {
+	rng := rand.New(rand.NewSource(seed))
+	init := make([]gossip, n)
+	for v := range init {
+		init[v] = gossip{Val: rng.Intn(1000)}
+	}
+	return init
+}
+
+// TestSyncsimFrontierMatchesDense: frontier rounds must be byte-identical
+// to dense rounds of the same seed at every parallelism, per-round states
+// and Changed lists alike, including across mid-run SetState perturbations.
+func TestSyncsimFrontierMatchesDense(t *testing.T) {
+	g := gossipGraph(t)
+	init := gossipInitial(g.N(), 5)
+	for _, p := range []int{0, 1, 2, 8} {
+		build := func() *syncsim.Engine[gossip] {
+			e, err := syncsim.NewParallel(g, gossipStep, init, 9, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		}
+		dense := build()
+		front := build()
+		front.EnableFrontier(gossipSettled)
+		for r := 0; r < 30; r++ {
+			if r == 12 {
+				dense.SetState(3, gossip{Val: 5000})
+				front.SetState(3, gossip{Val: 5000})
+			}
+			dense.Round()
+			front.Round()
+			want := fmt.Sprintf("%v %v", dense.View(), dense.Changed())
+			got := fmt.Sprintf("%v %v", front.View(), front.Changed())
+			if want != got {
+				t.Fatalf("p=%d round %d diverged:\ndense:    %s\nfrontier: %s", p, r, want, got)
+			}
+		}
+		dense.Close()
+		front.Close()
+	}
+}
+
+// TestSyncsimFrontierQuiesces: once the gossip converges the frontier must
+// be empty (rounds are no-ops), and a perturbation must re-dirty exactly
+// its neighborhood and re-converge.
+func TestSyncsimFrontierQuiesces(t *testing.T) {
+	g := gossipGraph(t)
+	for _, p := range []int{0, 4} {
+		e, err := syncsim.NewParallel(g, gossipStep, gossipInitial(g.N(), 7), 3, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.EnableFrontier(gossipSettled)
+		for r := 0; r < 64 && e.FrontierLen() > 0; r++ {
+			e.Round()
+		}
+		if e.FrontierLen() != 0 {
+			t.Fatalf("p=%d: frontier did not empty after convergence: %d dirty", p, e.FrontierLen())
+		}
+		e.SetState(0, gossip{Val: 9000})
+		if want := 1 + len(g.Neighbors(0)); e.FrontierLen() != want {
+			t.Fatalf("p=%d: SetState dirtied %d nodes, want %d", p, e.FrontierLen(), want)
+		}
+		for r := 0; r < 64 && e.FrontierLen() > 0; r++ {
+			e.Round()
+		}
+		if e.FrontierLen() != 0 {
+			t.Fatalf("p=%d: frontier did not re-empty after perturbation", p)
+		}
+		for v := 0; v < g.N(); v++ {
+			if e.State(v).Val != 9000 {
+				t.Fatalf("p=%d: node %d did not adopt the perturbed maximum", p, v)
+			}
+		}
+		e.Close()
+	}
+}
+
+// TestSyncsimFrontierMidRunPanics: arming frontier mode after rounds have
+// already run must panic (settled flags would be unsound).
+func TestSyncsimFrontierMidRunPanics(t *testing.T) {
+	g := gossipGraph(t)
+	e, err := syncsim.New(g, gossipStep, gossipInitial(g.N(), 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Round()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnableFrontier after Round did not panic")
+		}
+	}()
+	e.EnableFrontier(gossipSettled)
+}

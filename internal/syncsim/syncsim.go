@@ -14,12 +14,18 @@
 // persistent worker pool, with coin tosses drawn from counter-based
 // per-(round, node) streams so a sharded run is byte-identical to a
 // sequential run of the same seed at any worker count.
+//
+// Programs with genuine fixed points can additionally run frontier-sparse
+// (EnableFrontier): settled nodes — certified coin-free fixed points of the
+// step function — are skipped until their neighborhood changes, making a
+// quiescent round O(|frontier|·Δ) instead of O(n·Δ).
 package syncsim
 
 import (
 	"fmt"
 	"math/rand"
 
+	"thinunison/internal/frontier"
 	"thinunison/internal/graph"
 	"thinunison/internal/randx"
 	"thinunison/internal/shard"
@@ -46,7 +52,29 @@ type Engine[S comparable] struct {
 	changed  []int // nodes whose state changed in the last round
 	faultBuf []int // reusable permutation buffer for InjectFaults
 
-	par *parRuntime[S] // sharded-execution runtime; nil in classic mode
+	par *parRuntime[S]    // sharded-execution runtime; nil in classic mode
+	fr  *frontierState[S] // frontier-sparse runtime; nil in dense mode
+}
+
+// frontierState holds the frontier-sparse execution state of an engine: the
+// dirty set of unsettled nodes and the program's settled certifier. See
+// EnableFrontier.
+type frontierState[S comparable] struct {
+	set     *frontier.Set
+	settled func(self S, sensed []S) bool
+
+	dirty []int // sequential enumeration buffer
+	next  []S   // sequential staged states, aligned with dirty
+
+	// Sharded variants, one slot per shard.
+	dirtyS   [][]int
+	nextS    [][]S
+	changedS [][]int
+
+	// stage and applyInterior are the per-phase worker bodies, built once so
+	// the steady round loop allocates no closures.
+	stage         func(s int)
+	applyInterior func(s int)
 }
 
 // parRuntime holds the sharded-execution state of an engine: the partition,
@@ -137,6 +165,101 @@ func NewParallel[S comparable](g *graph.Graph, step StepFunc[S], initial []S, se
 	return e, nil
 }
 
+// EnableFrontier switches the engine to frontier-sparse rounds: it
+// maintains a per-node settled flag and skips settled nodes wholesale, so a
+// round costs O(|frontier|·Δ) instead of O(n·Δ). settled(self, sensed) must
+// be sound the way sa.SelfLooper is: a true verdict asserts that
+// step(self, sensed, rng) returns self and draws nothing from rng, for
+// every rng — which is what keeps a frontier run byte-identical to the
+// dense run of the same seed at any parallelism (skipped nodes provably
+// neither change state nor perturb any coin-toss stream). A node re-enters
+// the frontier in O(deg v) whenever it or a neighbor changes state
+// (rounds, SetState and InjectFaults alike).
+//
+// Programs that never quiesce gain nothing here: AlgMIS redraws temporary
+// identifiers and AlgLE advances its epoch round counter every round, so
+// their frontier never empties and the campaign drivers leave them dense.
+// The mode pays off for programs with genuine fixed points (converging
+// gossip, output-stable detectors).
+//
+// Call it before the first Round; it panics mid-run, because settled flags
+// certified against unobserved history would be unsound.
+func (e *Engine[S]) EnableFrontier(settled func(self S, sensed []S) bool) {
+	if e.round != 0 {
+		panic("syncsim: EnableFrontier after the first Round")
+	}
+	fr := &frontierState[S]{settled: settled}
+	if e.par == nil {
+		fr.set = frontier.New(e.g.N())
+		fr.set.Fill()
+		e.fr = fr
+		return
+	}
+	pr := e.par
+	p := pr.part.P()
+	fr.set = frontier.NewSharded(e.g.N(), pr.part.Starts(), pr.part.ShardIndex())
+	fr.set.Fill()
+	fr.dirtyS = make([][]int, p)
+	fr.nextS = make([][]S, p)
+	fr.changedS = make([][]int, p)
+	// Stage: each worker evaluates its own shard's slice of the frontier
+	// against the immutable current configuration, settle-clearing its own
+	// bits (invalidation happens in later phases, so sets win over clears)
+	// and recording all changed nodes of the shard in ascending order.
+	fr.stage = func(s int) {
+		lo, hi := pr.part.Range(s)
+		fr.dirtyS[s] = fr.set.AppendRange(fr.dirtyS[s][:0], lo, hi)
+		next := fr.nextS[s][:0]
+		ch := fr.changedS[s][:0]
+		rng, seq := pr.rngs[s], pr.seqs[s]
+		for _, v := range fr.dirtyS[s] {
+			seq.Reseed(randx.NodeSeed(pr.seed, e.round, v))
+			sensed := e.senseInto(&pr.bufs[s], v)
+			nx := e.step(e.states[v], sensed, rng)
+			next = append(next, nx)
+			if nx != e.states[v] {
+				ch = append(ch, v)
+			} else if fr.settled(e.states[v], sensed) {
+				fr.set.Remove(v)
+			}
+		}
+		fr.nextS[s] = next
+		fr.changedS[s] = ch
+	}
+	// Apply interior changes concurrently: an interior node's whole
+	// neighborhood lives in its owner shard, so the in-place state write and
+	// the dirty-bit invalidation never race across workers.
+	fr.applyInterior = func(s int) {
+		for i, v := range fr.dirtyS[s] {
+			if !pr.part.Interior(v) {
+				continue
+			}
+			if nx := fr.nextS[s][i]; nx != e.states[v] {
+				e.states[v] = nx
+				e.invalidate(v)
+			}
+		}
+	}
+	e.fr = fr
+}
+
+// invalidate re-dirties node v and its neighbors after a state change.
+func (e *Engine[S]) invalidate(v int) {
+	e.fr.set.Add(v)
+	for _, u := range e.g.Neighbors(v) {
+		e.fr.set.Add(u)
+	}
+}
+
+// FrontierLen returns the number of unsettled nodes of a frontier engine,
+// or -1 when frontier mode is inactive.
+func (e *Engine[S]) FrontierLen() int {
+	if e.fr == nil {
+		return -1
+	}
+	return e.fr.set.Len()
+}
+
 // Close releases the worker goroutines of a sharded engine (NewParallel
 // with parallelism >= 1). It is idempotent and a no-op for classic engines.
 func (e *Engine[S]) Close() {
@@ -155,6 +278,10 @@ func (e *Engine[S]) Graph() *graph.Graph { return e.g }
 // range per shard; the Changed merge concatenates the per-shard lists in
 // shard order, preserving ascending node order.
 func (e *Engine[S]) Round() {
+	if e.fr != nil {
+		e.roundFrontier()
+		return
+	}
 	if e.par != nil {
 		e.roundSharded()
 		return
@@ -167,6 +294,51 @@ func (e *Engine[S]) Round() {
 		}
 	}
 	e.states, e.next = e.next, e.states
+	e.round++
+}
+
+// roundFrontier is the frontier-sparse round body: only unsettled nodes are
+// evaluated — staged against the immutable current configuration and then
+// applied in place — so a quiescent round costs O(n/64) instead of O(n·Δ).
+func (e *Engine[S]) roundFrontier() {
+	fr := e.fr
+	if e.par != nil {
+		e.par.pool.Run(fr.stage)
+		e.par.pool.Run(fr.applyInterior)
+		e.changed = e.changed[:0]
+		for s := 0; s < e.par.part.P(); s++ {
+			for i, v := range fr.dirtyS[s] {
+				if e.par.part.Interior(v) {
+					continue
+				}
+				if nx := fr.nextS[s][i]; nx != e.states[v] {
+					e.states[v] = nx
+					e.invalidate(v)
+				}
+			}
+			e.changed = append(e.changed, fr.changedS[s]...)
+		}
+		e.round++
+		return
+	}
+	fr.dirty = fr.set.AppendTo(fr.dirty[:0])
+	fr.next = fr.next[:0]
+	for _, v := range fr.dirty {
+		sensed := e.sense(v)
+		nx := e.step(e.states[v], sensed, e.rng)
+		fr.next = append(fr.next, nx)
+		if nx == e.states[v] && fr.settled(e.states[v], sensed) {
+			fr.set.Remove(v)
+		}
+	}
+	e.changed = e.changed[:0]
+	for i, v := range fr.dirty {
+		if nx := fr.next[i]; nx != e.states[v] {
+			e.states[v] = nx
+			e.changed = append(e.changed, v)
+			e.invalidate(v)
+		}
+	}
 	e.round++
 }
 
@@ -229,6 +401,9 @@ func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int
 	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
 	for _, v := range hit {
 		e.states[v] = random(e.rng)
+		if e.fr != nil {
+			e.invalidate(v)
+		}
 	}
 	return hit
 }
@@ -255,7 +430,12 @@ func (e *Engine[S]) View() []S { return e.states }
 func (e *Engine[S]) Changed() []int { return e.changed }
 
 // SetState overwrites the state of node v (transient fault injection).
-func (e *Engine[S]) SetState(v int, s S) { e.states[v] = s }
+func (e *Engine[S]) SetState(v int, s S) {
+	e.states[v] = s
+	if e.fr != nil {
+		e.invalidate(v)
+	}
+}
 
 // RunUntil runs rounds until cond holds (checked between rounds) or the
 // budget is exhausted; it reports the rounds consumed and whether cond held.
