@@ -101,6 +101,22 @@ func frontierCheck(scenarios []campaign.Scenario) int {
 		func(sc *campaign.Scenario) { sc.Frontier = 1 })
 }
 
+// churnCheck is the topology-churn differential guard: every scenario runs
+// once dense on the classic sequential engine (P=1 sharded semantics) and
+// once frontier-sparse sharded at P=8, with the GoodMonitor full-scan
+// oracle enabled on both sides — so a divergence in either the trajectory
+// (records differ) or the incremental stabilization verdict (oracle fails
+// the record) turns the guard red. Run it on the bio-churn preset, whose
+// scenarios actually mutate topology mid-run.
+func churnCheck(scenarios []campaign.Scenario) int {
+	for i := range scenarios {
+		scenarios[i].MonitorOracle = true
+	}
+	return divergenceCheck(scenarios, "churn-check", "dense-P1", "frontier-P8",
+		func(sc *campaign.Scenario) { sc.Frontier = -1; sc.Parallelism = 1 },
+		func(sc *campaign.Scenario) { sc.Frontier = 1; sc.Parallelism = 8 })
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -120,6 +136,7 @@ func run() int {
 		front   = flag.Int("frontier", 0, "frontier-sparse AU execution: >0 forces it on, <0 forces dense execution, 0 auto-enables (records are identical either way)")
 		check   = flag.Bool("shard-check", false, "divergence guard: run every scenario sharded at P=1 and P=8 and fail if any record differs, instead of a normal campaign")
 		fcheck  = flag.Bool("frontier-check", false, "divergence guard: run every scenario dense and frontier-sparse and fail if any record differs, instead of a normal campaign")
+		ccheck  = flag.Bool("churn-check", false, "churn differential guard: run every scenario dense-P1 and frontier-P8 with the GoodMonitor full-scan oracle and fail on any divergence, instead of a normal campaign (pair with -preset bio-churn)")
 	)
 	flag.Parse()
 
@@ -143,6 +160,9 @@ func run() int {
 	}
 	if *fcheck {
 		return frontierCheck(scenarios)
+	}
+	if *ccheck {
+		return churnCheck(scenarios)
 	}
 
 	var jsonl io.Writer = os.Stdout

@@ -75,6 +75,12 @@ type artifact struct {
 	Speedups       []speedup       `json:"speedups"`
 	ShardScaling   []shardPoint    `json:"shard_scaling"`
 	FrontierSeries []frontierPoint `json:"frontier_series"`
+	// ChurnSeries is the topology-churn recovery pair: one crash → drift →
+	// revive cycle per op (see hotpath.ChurnRecovery), frontier-sparse
+	// execution vs forced dense re-scan. Both sides walk byte-identical
+	// trajectories (the churn differential guard enforces it), so the
+	// ratio isolates the execution-mode win on churn recovery.
+	ChurnSeries []frontierPoint `json:"churn_series"`
 }
 
 func measure(name string, n, iters int, fn func(b *testing.B)) entry {
@@ -223,6 +229,26 @@ func main() {
 	frontierPair("post-fault-recovery", 10000, recoveryIters, func(front bool) func(b *testing.B) {
 		return hotpath.FrontierRecovery(10000, faults, front)
 	})
+
+	// Churn series: one crash → drift → revive topology-churn cycle per op.
+	churnPair := func(n, iters int) {
+		dense := measure(hotpath.FrontierName("churn-recovery", n, false), n, iters, hotpath.ChurnRecovery(n, false))
+		front := measure(hotpath.FrontierName("churn-recovery", n, true), n, iters, hotpath.ChurnRecovery(n, true))
+		a.Benchmarks = append(a.Benchmarks, dense, front)
+		a.ChurnSeries = append(a.ChurnSeries, frontierPoint{
+			Scenario:   "churn-recovery",
+			N:          n,
+			DenseNs:    dense.NsPerOp,
+			FrontierNs: front.NsPerOp,
+			Speedup:    dense.NsPerOp / front.NsPerOp,
+		})
+	}
+	churnIters := 10
+	if *quick {
+		churnIters = 3
+	}
+	churnPair(1000, churnIters*2)
+	churnPair(10000, churnIters)
 
 	if *gate > 0 && headline.Speedup < *gate {
 		fmt.Fprintf(os.Stderr, "frontier gate FAILED: quiescent-steady-step/n=%d speedup %.2fx < required %.2fx (steady steps regressed toward Θ(n))\n",

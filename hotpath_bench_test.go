@@ -83,3 +83,16 @@ func BenchmarkHotPathFrontierRecovery(b *testing.B) {
 		b.Run(hotpath.FrontierName("recovery", n, frontier), hotpath.FrontierRecovery(n, faults, frontier))
 	}
 }
+
+// BenchmarkHotPathChurnRecovery is the in-tree slice of the churn series
+// (the full n=10^4 pair lives in cmd/hotpathbench): one crash → drift →
+// revive topology-churn cycle per op, recovery wave localized around the
+// crash site. Frontier execution is reseeded from the churn path's endpoint
+// invalidation and pays only for the wave; dense execution re-scans Θ(n)
+// settled nodes every step of it.
+func BenchmarkHotPathChurnRecovery(b *testing.B) {
+	const n = 1000
+	for _, frontier := range []bool{false, true} {
+		b.Run(hotpath.FrontierName("churn", n, frontier), hotpath.ChurnRecovery(n, frontier))
+	}
+}

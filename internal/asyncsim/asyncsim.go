@@ -104,6 +104,21 @@ func (e *Engine[S]) sense(v int) []S {
 	return e.buf
 }
 
+// ApplyDelta commits a topology mutation batch between steps: the delta
+// (which must wrap the engine's own graph) is compacted in place and the
+// touched endpoints returned, so callers can recheck dirty-set stability
+// over the affected neighborhoods. The asynchronous engine keeps no
+// topology-derived incremental state of its own, so no further repair is
+// needed; like SetState it must run between steps, on the driving
+// goroutine.
+func (e *Engine[S]) ApplyDelta(d *graph.Delta) ([]int, error) {
+	if d.Graph() != e.g {
+		return nil, fmt.Errorf("asyncsim: delta wraps a different graph")
+	}
+	_, touched := d.Apply()
+	return touched, nil
+}
+
 // Rounds returns the number of completed rounds (round operator ϱ).
 func (e *Engine[S]) Rounds() int { return e.tracker.Rounds() }
 

@@ -1,0 +1,81 @@
+package asyncsim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"thinunison/internal/asyncsim"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+)
+
+// maxStep adopts the maximum sensed value — a deterministic program whose
+// output is a pure function of the (mutating) topology, so the test can pin
+// churn semantics exactly.
+func maxStep(self int, sensed []int, _ *rand.Rand) int {
+	m := self
+	for _, u := range sensed {
+		if u > m {
+			m = u
+		}
+	}
+	return m
+}
+
+// TestAsyncsimApplyDelta: a mid-run edge insertion must open a propagation
+// path (and a deletion close one) for the running engine — the graph pointer
+// the engine holds is re-compacted in place.
+func TestAsyncsimApplyDelta(t *testing.T) {
+	g, err := graph.Path(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := []int{9, 0, 0, 0, 0, 0}
+	e, err := asyncsim.New(g, maxStep, init, sched.NewSynchronous(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut the path behind node 1 and bridge 0 straight to 5 instead: the 9
+	// must now reach node 5 in one step and nodes 2..4 over the reversed
+	// path, proving the engine senses the new topology.
+	d := graph.NewDelta(g)
+	if err := d.InsertEdge(0, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteEdge(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	touched, err := e.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, 1, 2, 5}; !reflect.DeepEqual(touched, want) {
+		t.Fatalf("touched = %v, want %v", touched, want)
+	}
+	e.Step()
+	if e.State(5) != 9 || e.State(1) != 9 {
+		t.Fatalf("new edge not sensed: states %v", e.States())
+	}
+	if e.State(2) != 0 {
+		t.Fatalf("deleted edge still sensed: states %v", e.States())
+	}
+	for i := 0; i < 4; i++ {
+		e.Step()
+	}
+	if want := []int{9, 9, 9, 9, 9, 9}; !reflect.DeepEqual(e.States(), want) {
+		t.Fatalf("flood over churned topology = %v, want %v", e.States(), want)
+	}
+	if _, err := e.ApplyDelta(graph.NewDelta(mustPath(t, 6))); err == nil {
+		t.Fatal("delta over a foreign graph must be rejected")
+	}
+}
+
+func mustPath(t *testing.T, n int) *graph.Graph {
+	t.Helper()
+	g, err := graph.Path(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}

@@ -177,54 +177,69 @@ func (n *Network) Phases() []int {
 	return out
 }
 
-// Churn rewires the topology: it removes and adds random chords while
-// keeping the graph connected and within the diameter bound, returning the
-// new graph. The cell states carry over — topology change is a transient
-// disruption the clock recovers from. If no admissible rewiring is found in
-// a bounded number of attempts, the topology is left unchanged (ok=false).
+// Churn rewires the topology in place: it removes and adds random chords
+// while keeping the graph connected and within the diameter bound. The cell
+// states, the engine, the scheduler and the rng stream all carry over —
+// topology change is a transient disruption the clock recovers from, not a
+// restart. Each attempt stages its rewiring in a graph.Delta, commits it
+// through the engine's churn path (sim.Engine.ApplyDelta, which repairs the
+// frontier, observers and shard classification in the same motion), checks
+// the exact diameter, and backs an inadmissible attempt out with the
+// inverse batch. If no admissible rewiring is found in a bounded number of
+// attempts, the topology is left unchanged (ok=false).
 func (n *Network) Churn(rewires int) (ok bool, err error) {
 	d := n.au.D()
 	for attempt := 0; attempt < 32; attempt++ {
-		b, err := graph.NewBuilder(n.g.N())
-		if err != nil {
-			return false, err
-		}
+		delta := graph.NewDelta(n.g)
 		edges := n.g.Edges()
 		// Drop up to `rewires` random edges.
 		drop := map[int]bool{}
 		for i := 0; i < rewires && i < len(edges); i++ {
 			drop[n.rng.Intn(len(edges))] = true
 		}
-		for i, e := range edges {
-			if !drop[i] {
-				if err := b.AddEdge(e[0], e[1]); err != nil {
-					return false, err
-				}
+		for i := range drop {
+			if err := delta.DeleteEdge(edges[i][0], edges[i][1]); err != nil {
+				return false, err
 			}
 		}
 		// Add the same number of random chords.
 		for i := 0; i < len(drop); i++ {
 			u, v := n.rng.Intn(n.g.N()), n.rng.Intn(n.g.N())
 			if u != v {
-				if err := b.AddEdge(u, v); err != nil {
+				if err := delta.InsertEdge(u, v); err != nil {
 					return false, err
 				}
 			}
 		}
-		cand := b.Build()
-		if cand.Connected() && cand.Diameter() <= d {
-			cfg := n.eng.Config().Clone()
-			eng, err := sim.New(cand, n.au, sim.Options{
-				Initial:   cfg,
-				Scheduler: sched.NewRandomSubset(0.5, 16, n.rng),
-				Seed:      n.rng.Int63(),
-			})
+		// Cheap pre-check on the merged view, then commit and verify the
+		// exact diameter (the bound is a hard contract of the substrate).
+		if !delta.Connected() {
+			continue
+		}
+		changes, err := n.eng.ApplyDelta(delta)
+		if err != nil {
+			return false, err
+		}
+		if len(changes) == 0 {
+			continue // rewiring cancelled itself (chords equal to drops)
+		}
+		if n.g.Diameter() <= d {
+			return true, nil
+		}
+		// Back out: apply the inverse batch through the same path.
+		inverse := graph.NewDelta(n.g)
+		for _, c := range changes {
+			if c.Added {
+				err = inverse.DeleteEdge(c.U, c.V)
+			} else {
+				err = inverse.InsertEdge(c.U, c.V)
+			}
 			if err != nil {
 				return false, err
 			}
-			n.g = cand
-			n.eng = eng
-			return true, nil
+		}
+		if _, err := n.eng.ApplyDelta(inverse); err != nil {
+			return false, err
 		}
 	}
 	return false, nil

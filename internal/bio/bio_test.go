@@ -119,3 +119,56 @@ func TestPulseCountsRequiresSync(t *testing.T) {
 		t.Error("PulseCounts should fail on unsynchronized network")
 	}
 }
+
+// TestChurnUsesDeltaPath pins the delta-path rewrite of Churn: the network
+// keeps its graph and engine identities across rewirings (topology mutates
+// in place instead of rebuilding both), the diameter bound is enforced after
+// every successful rewiring, a failed search leaves the edge set untouched,
+// and the surviving engine still drives the clock.
+func TestChurnUsesDeltaPath(t *testing.T) {
+	n, err := bio.NewNetwork(bio.Config{Cells: 16, EdgeDensity: 0.4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, eng := n.Graph(), n.Engine()
+	if _, err := n.RunUntilSynchronized(maxRounds(n)); err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for i := 0; i < 8; i++ {
+		before := g.Edges()
+		ok, err := n.Churn(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n.Graph() != g || n.Engine() != eng {
+			t.Fatal("Churn replaced the graph or engine instead of mutating in place")
+		}
+		if !ok {
+			after := g.Edges()
+			if len(after) != len(before) {
+				t.Fatalf("failed churn changed the edge set: %d -> %d edges", len(before), len(after))
+			}
+			for j := range after {
+				if after[j] != before[j] {
+					t.Fatalf("failed churn changed the edge set at %d: %v -> %v", j, before[j], after[j])
+				}
+			}
+			continue
+		}
+		applied++
+		if err := g.Validate(); err != nil {
+			t.Fatalf("churned topology invalid: %v", err)
+		}
+		if d := g.Diameter(); d > n.AU().D() {
+			t.Fatalf("churn violated the diameter bound: diameter %d > D %d", d, n.AU().D())
+		}
+		if _, err := n.RunUntilSynchronized(maxRounds(n)); err != nil {
+			t.Fatalf("no re-synchronization after in-place churn %d: %v", i, err)
+		}
+	}
+	if applied == 0 {
+		t.Skip("no admissible rewiring found for any attempt; diameter/identity checks not exercised")
+	}
+	t.Logf("%d/8 churn events applied in place", applied)
+}

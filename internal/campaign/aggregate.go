@@ -8,8 +8,9 @@ import (
 )
 
 // GroupKey identifies one aggregation cell: a parameter point of the matrix
-// with trials (and seeds) collapsed. The fault model is part of the key, so
-// e.g. single-node bursts and full-network wipes aggregate separately.
+// with trials (and seeds) collapsed. The fault and churn models are part of
+// the key, so e.g. single-node bursts and full-network wipes — or steady
+// churn and churn storms — aggregate separately.
 type GroupKey struct {
 	Family      string
 	N           int
@@ -18,6 +19,7 @@ type GroupKey struct {
 	Algorithm   string
 	FaultCount  int
 	FaultBursts int
+	Churn       string
 }
 
 func (k GroupKey) String() string {
@@ -59,6 +61,7 @@ func Aggregate(recs []Record) []Group {
 			Family: r.Family, N: r.N, D: r.D,
 			Scheduler: r.Scheduler, Algorithm: r.Algorithm,
 			FaultCount: r.FaultCount, FaultBursts: r.FaultBursts,
+			Churn: r.Churn,
 		}
 		g := byKey[key]
 		if g == nil {
@@ -107,7 +110,10 @@ func Aggregate(recs []Record) []Group {
 		if a.FaultCount != b.FaultCount {
 			return a.FaultCount < b.FaultCount
 		}
-		return a.FaultBursts < b.FaultBursts
+		if a.FaultBursts != b.FaultBursts {
+			return a.FaultBursts < b.FaultBursts
+		}
+		return a.Churn < b.Churn
 	})
 
 	out := make([]Group, 0, len(keys))

@@ -154,6 +154,39 @@ type FaultSpec struct {
 	SoakRounds int `json:"soak_rounds,omitempty"`
 }
 
+// ChurnSpec describes mid-run topology churn for a scenario (AlgAU only —
+// the synchronous-task drivers keep their topology frozen): every Period
+// steps the engine flips Flips random edges and crashes Crash random nodes
+// (reviving the previous event's victims), for Events events, after which
+// the topology quiesces so the stabilization guarantee applies to the final
+// graph. All destructive ops are guarded — the alive nodes stay connected
+// and the double-sweep diameter upper bound stays within the (churn-
+// margined) algorithm parameter — so records remain deterministic and the
+// run remains inside the graph class the algorithm is designed for.
+type ChurnSpec struct {
+	// Period is the number of steps between churn events (0 disables churn).
+	Period int `json:"period,omitempty"`
+	// Flips is the number of random edge flips per event.
+	Flips int `json:"flips,omitempty"`
+	// Crash is the number of random node crashes per event; victims revive
+	// at the next event (cells die and divide back into the tissue).
+	Crash int `json:"crash,omitempty"`
+	// Events bounds the number of churn events (0 = unbounded; presets use
+	// finite values so runs eventually stabilize within budget).
+	Events int `json:"events,omitempty"`
+}
+
+// active reports whether the spec mutates anything.
+func (c ChurnSpec) active() bool { return c.Period > 0 && (c.Flips > 0 || c.Crash > 0) }
+
+// Name returns the stable identifier used in records ("" when inactive).
+func (c ChurnSpec) Name() string {
+	if !c.active() {
+		return ""
+	}
+	return fmt.Sprintf("churn(period=%d,flips=%d,crash=%d,events=%d)", c.Period, c.Flips, c.Crash, c.Events)
+}
+
 // Scenario is one concrete run: a point of the expanded matrix together with
 // its deterministic seed.
 type Scenario struct {
@@ -166,10 +199,11 @@ type Scenario struct {
 	Family graph.Family
 	N      int
 	D      int
-	// Scheduler, Algorithm and Faults select the workload.
+	// Scheduler, Algorithm, Faults and Churn select the workload.
 	Scheduler SchedulerSpec
 	Algorithm Algorithm
 	Faults    FaultSpec
+	Churn     ChurnSpec
 	// Trial distinguishes repeated runs of the same parameter point.
 	Trial int
 	// Seed drives all randomness of the run (graph construction, initial
@@ -194,6 +228,13 @@ type Scenario struct {
 	// (round-robin, laggard) skip settled nodes wholesale instead of
 	// re-deriving Θ(n) no-op transitions per step.
 	Frontier int
+	// MonitorOracle, when set, cross-checks the incremental GoodMonitor
+	// verdict against the full-scan GraphGood oracle at every stabilization
+	// poll, failing the record on divergence. It costs O(n·Δ) per step —
+	// it exists for the churn differential guard (cmd/campaign
+	// -churn-check), not for production sweeps — and never changes record
+	// bytes while the verdicts agree.
+	MonitorOracle bool
 	// intraHint is the runner's idle-capacity suggestion for automatic
 	// intra-run parallelism (workers left over when there are fewer
 	// scenarios than pool workers). It sizes the shard pool but never
@@ -253,6 +294,8 @@ type Matrix struct {
 	Algorithms []Algorithm
 	// Faults models to sweep (default: no injection).
 	Faults []FaultSpec
+	// Churns are topology-churn models to sweep (default: frozen topology).
+	Churns []ChurnSpec
 	// Trials per parameter point (default 1).
 	Trials int
 }
@@ -276,6 +319,9 @@ func (m Matrix) withDefaults() Matrix {
 	if len(m.Faults) == 0 {
 		m.Faults = []FaultSpec{{}}
 	}
+	if len(m.Churns) == 0 {
+		m.Churns = []ChurnSpec{{}}
+	}
 	if m.Trials <= 0 {
 		m.Trials = 1
 	}
@@ -283,9 +329,10 @@ func (m Matrix) withDefaults() Matrix {
 }
 
 // valid reports whether a combination is executable: cycles need n >= 3,
-// bounded-diameter construction needs 1 <= d < n, and the plain synchronous
-// MIS/LE programs only run under the synchronous schedule.
-func valid(f graph.Family, n, d int, s SchedulerSpec, a Algorithm) bool {
+// bounded-diameter construction needs 1 <= d < n, the plain synchronous
+// MIS/LE programs only run under the synchronous schedule, and topology
+// churn is an AlgAU workload (the task drivers keep their graphs frozen).
+func valid(f graph.Family, n, d int, s SchedulerSpec, a Algorithm, c ChurnSpec) bool {
 	if n < 1 {
 		return false
 	}
@@ -296,6 +343,9 @@ func valid(f graph.Family, n, d int, s SchedulerSpec, a Algorithm) bool {
 		return false
 	}
 	if (a == AlgMIS || a == AlgLE) && !s.IsSynchronous() {
+		return false
+	}
+	if c.active() && a != AlgAU {
 		return false
 	}
 	return true
@@ -326,20 +376,23 @@ func Concat(seed int64, ms ...Matrix) []Scenario {
 					for _, s := range m.Schedulers {
 						for _, a := range m.Algorithms {
 							for _, fl := range m.Faults {
-								for trial := 0; trial < m.Trials; trial++ {
-									if !valid(f, n, d, s, a) {
-										continue
+								for _, ch := range m.Churns {
+									for trial := 0; trial < m.Trials; trial++ {
+										if !valid(f, n, d, s, a, ch) {
+											continue
+										}
+										out = append(out, Scenario{
+											Index:     len(out),
+											Family:    f,
+											N:         n,
+											D:         d,
+											Scheduler: s,
+											Algorithm: a,
+											Faults:    fl,
+											Churn:     ch,
+											Trial:     trial,
+										})
 									}
-									out = append(out, Scenario{
-										Index:     len(out),
-										Family:    f,
-										N:         n,
-										D:         d,
-										Scheduler: s,
-										Algorithm: a,
-										Faults:    fl,
-										Trial:     trial,
-									})
 								}
 							}
 						}

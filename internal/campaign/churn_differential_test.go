@@ -1,0 +1,108 @@
+package campaign_test
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"thinunison/internal/campaign"
+	"thinunison/internal/graph"
+)
+
+// churnScenarios returns the bio-churn preset trimmed to its small instances
+// (kept fast: the differential runs every scenario four times, twice with
+// the O(n·Δ)-per-poll oracle).
+func churnScenarios(t *testing.T) []campaign.Scenario {
+	t.Helper()
+	scs, err := campaign.Preset("bio-churn", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []campaign.Scenario
+	for _, sc := range scs {
+		if sc.N <= 64 {
+			out = append(out, sc)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("bio-churn preset has no small scenarios")
+	}
+	return out
+}
+
+// TestChurnDifferentialAcrossModes is the in-tree twin of cmd/campaign
+// -churn-check: every small bio-churn scenario must produce byte-identical
+// records dense-P1 vs frontier-P8, with the GoodMonitor full-scan oracle
+// armed on both sides, and must actually commit churn.
+func TestChurnDifferentialAcrossModes(t *testing.T) {
+	ctx := context.Background()
+	for _, sc := range churnScenarios(t) {
+		sc.MonitorOracle = true
+		a := sc
+		a.Frontier, a.Parallelism = -1, 1
+		b := sc
+		b.Frontier, b.Parallelism = 1, 8
+		ra := campaign.Execute(ctx, a)
+		rb := campaign.Execute(ctx, b)
+		ra.WallMS, rb.WallMS = 0, 0
+		ja, err := json.Marshal(&ra)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jb, err := json.Marshal(&rb)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ja, jb) {
+			t.Fatalf("scenario %d diverged:\n  dense-P1:    %s\n  frontier-P8: %s", sc.Index, ja, jb)
+		}
+		if !ra.OK {
+			t.Fatalf("scenario %d failed: %s", sc.Index, ra.Err)
+		}
+		if ra.ChurnOps == 0 {
+			t.Fatalf("scenario %d committed no churn (%s)", sc.Index, ra.Churn)
+		}
+	}
+}
+
+// TestChurnScenarioValidity pins the expansion rules: churn crosses into the
+// matrix like faults do, but only against AlgAU.
+func TestChurnScenarioValidity(t *testing.T) {
+	m := campaign.Matrix{
+		Families:   []graph.Family{graph.FamilyStar},
+		Sizes:      []int{8},
+		Algorithms: []campaign.Algorithm{campaign.AlgAU, campaign.AlgMIS},
+		Churns:     []campaign.ChurnSpec{{}, {Period: 4, Flips: 1, Events: 2}},
+	}
+	scs := m.Expand(1)
+	// au×{frozen, churn} + mis×frozen = 3 scenarios; mis×churn dropped.
+	if len(scs) != 3 {
+		t.Fatalf("expanded %d scenarios, want 3", len(scs))
+	}
+	for _, sc := range scs {
+		if sc.Algorithm == campaign.AlgMIS && sc.Churn.Name() != "" {
+			t.Fatalf("churn × MIS survived expansion: %+v", sc)
+		}
+	}
+	// A hand-crafted churn × non-AU scenario must fail loudly at Execute.
+	bad := campaign.Scenario{
+		Family: graph.FamilyStar, N: 8, Algorithm: campaign.AlgMIS,
+		Churn: campaign.ChurnSpec{Period: 4, Flips: 1},
+	}
+	rec := campaign.Execute(context.Background(), campaign.Finalize(1, []campaign.Scenario{bad})[0])
+	if rec.OK || rec.Err == "" {
+		t.Fatalf("churn × MIS executed: %+v", rec)
+	}
+}
+
+// TestChurnSpecName pins the record identifier.
+func TestChurnSpecName(t *testing.T) {
+	if got := (campaign.ChurnSpec{}).Name(); got != "" {
+		t.Fatalf("inactive churn name = %q", got)
+	}
+	c := campaign.ChurnSpec{Period: 8, Flips: 2, Crash: 1, Events: 6}
+	if got, want := c.Name(), "churn(period=8,flips=2,crash=1,events=6)"; got != want {
+		t.Fatalf("Name() = %q, want %q", got, want)
+	}
+}

@@ -55,7 +55,12 @@ func Execute(ctx context.Context, sc Scenario) Record {
 		Seed:        sc.Seed,
 		FaultCount:  sc.Faults.Count,
 		FaultBursts: faultBursts(sc.Faults),
+		Churn:       sc.Churn.Name(),
 		Diameter:    -1,
+	}
+	if sc.Churn.active() && sc.Algorithm != AlgAU {
+		rec.fail(fmt.Errorf("campaign: topology churn requires algorithm %q, got %q", AlgAU, sc.Algorithm))
+		return rec
 	}
 	rng := rand.New(rand.NewSource(sc.Seed))
 	g, err := graph.FromFamily(sc.Family, sc.N, sc.D, rng)
@@ -146,9 +151,30 @@ func asyncTaskBudget(d, n int) int {
 	return stats.SatAdd(budget.Task(d, n), budget.Synchronizer(d))
 }
 
-// runAU drives AlgAU (the pulse clock itself) under the scenario's scheduler,
-// then injects and recovers from fault bursts.
+// churnDiameterMargin sizes the AU clock of a churn scenario: the algorithm
+// parameter is doubled so the guarded topology drift (the double-sweep
+// upper bound is held within 2d, and the double sweep never under-reports
+// the true diameter) stays inside the graph class the clock is built for —
+// Theorem 1.1 needs k >= 3·diam + 2 at every point of the run.
+func churnDiameterMargin(d int) int { return 2 * d }
+
+// runAU drives AlgAU (the pulse clock itself) under the scenario's scheduler
+// and optional topology churn, then injects and recovers from fault bursts.
 func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record) {
+	var churn *sim.ChurnSpec
+	if sc.Churn.active() {
+		d = churnDiameterMargin(d)
+		rec.D = d
+		churn = &sim.ChurnSpec{
+			Period:           sc.Churn.Period,
+			Flips:            sc.Churn.Flips,
+			Crashes:          sc.Churn.Crash,
+			MaxEvents:        sc.Churn.Events,
+			Seed:             rng.Int63(),
+			KeepConnected:    true,
+			MaxDiameterUpper: d,
+		}
+	}
 	au, err := core.NewAU(d)
 	if err != nil {
 		rec.fail(err)
@@ -164,6 +190,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		Seed:        rng.Int63(),
 		Parallelism: sc.intraParallelism(),
 		Frontier:    sc.frontierEnabled(),
+		Churn:       churn,
 	})
 	if err != nil {
 		rec.fail(err)
@@ -172,6 +199,9 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	defer eng.Close()
 	roundBudget := budget.AU(au.K())
 	rec.Budget = roundBudget
+	defer func() {
+		rec.ChurnOps, rec.ChurnSkipped = eng.ChurnOps(), eng.ChurnSkipped()
+	}()
 
 	// Incremental stabilization check: the engine streams node state changes
 	// (steps and fault injections alike) into the monitor, so the per-step
@@ -179,22 +209,57 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	mon := core.NewGoodMonitor(au, g, eng.Config())
 	eng.Observe(mon)
 	cancelled := false
-	good := pollingCond(ctx, &cancelled, mon.Good)
+	oracleBad := false
+	verdict := mon.Good
+	if sc.MonitorOracle {
+		// Differential-guard mode: every poll cross-checks the incremental
+		// verdict against the full scan; a divergence aborts the run loudly.
+		verdict = func() bool {
+			got := mon.Good()
+			if got != au.GraphGood(g, eng.Config()) {
+				oracleBad = true
+				return true
+			}
+			return got
+		}
+	}
+	good := pollingCond(ctx, &cancelled, verdict)
+	failOracle := func() bool {
+		if oracleBad {
+			rec.OK = false
+			rec.fail(errors.New("campaign: GoodMonitor verdict diverged from the full-scan oracle"))
+		}
+		return oracleBad
+	}
+	// soakAbort ends a steady-state stretch early: on cancellation, or — in
+	// oracle mode — on a monitor/full-scan divergence, so churn events that
+	// land inside a soak are cross-checked too, not just the polls of the
+	// stabilization and recovery phases.
+	soakAbort := func() bool {
+		if sc.MonitorOracle && mon.Good() != au.GraphGood(g, eng.Config()) {
+			oracleBad = true
+			return true
+		}
+		return false
+	}
 	// soak runs the scenario's steady-state stretch (FaultSpec.SoakRounds):
 	// quiescent rounds between fault events, abortable via the polling
 	// cancellation cond. ErrBudgetExhausted is the normal outcome — the
 	// "budget" here is exactly the stretch length.
-	abort := pollingCond(ctx, &cancelled, func() bool { return false })
+	abort := pollingCond(ctx, &cancelled, soakAbort)
 	soak := func() bool {
 		if sc.Faults.SoakRounds <= 0 {
 			return true
 		}
 		_, err := eng.RunUntil(func(*sim.Engine) bool { return abort() }, sc.Faults.SoakRounds)
 		rec.Steps = eng.StepCount()
-		return errors.Is(err, sim.ErrBudgetExhausted) && !cancelled
+		return errors.Is(err, sim.ErrBudgetExhausted) && !cancelled && !oracleBad
 	}
 	rounds, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.StepCount()
+	if failOracle() {
+		return
+	}
 	if cancelled {
 		rec.fail(errCancelled)
 		return
@@ -205,6 +270,9 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	}
 	rec.OK = true
 	if !soak() {
+		if failOracle() {
+			return
+		}
 		rec.fail(errCancelled)
 		return
 	}
@@ -216,6 +284,9 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		if recovery > rec.RecoveryRounds {
 			rec.RecoveryRounds = recovery
 		}
+		if failOracle() {
+			return
+		}
 		if cancelled {
 			rec.fail(errCancelled)
 			return
@@ -225,6 +296,9 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 			return
 		}
 		if !soak() {
+			if failOracle() {
+				return
+			}
 			rec.fail(errCancelled)
 			return
 		}

@@ -16,6 +16,7 @@ var presets = map[string]func(seed int64) []Scenario{
 	"paper-table1": presetPaperTable1,
 	"fault-storm":  presetFaultStorm,
 	"scale-sweep":  presetScaleSweep,
+	"bio-churn":    presetBioChurn,
 }
 
 // Presets returns the available preset names, sorted.
@@ -163,4 +164,63 @@ func presetScaleSweep(seed int64) []Scenario {
 		Trials:         1,
 	}
 	return Concat(seed, stars, bounded, trees, async, straggler)
+}
+
+// presetBioChurn is the paper's headline application made executable: a
+// cellular population whose communication topology itself changes mid-run —
+// cells die (crash), divide back (revive), and links rewire (edge flips) —
+// while AlgAU keeps re-synchronizing the pulse clock. Three regimes:
+//
+//   - steady churn: one guarded edge flip every few steps, the background
+//     link noise of a living tissue;
+//   - churn storms: rare events that rewire a dozen links and kill cells at
+//     once, the "wound" regime;
+//   - churn + fault storms: topology churn composed with transient state
+//     corruption and quiescent soak stretches — every adversary of the
+//     paper at the same time.
+//
+// Every destructive op is guarded (connectivity, diameter drift within the
+// churn-margined clock parameter) and event counts are finite, so each run
+// ends on a stabilizable topology and records stay deterministic. The
+// preset doubles as the input of the cmd/campaign -churn-check differential
+// guard, which re-runs it dense-P1 vs frontier-P8 with the GoodMonitor
+// full-scan oracle enabled.
+func presetBioChurn(seed int64) []Scenario {
+	steady := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD, graph.FamilyGrid},
+		Sizes:          []int{32, 96},
+		DiameterBounds: []int{3},
+		Schedulers:     []SchedulerSpec{Synchronous, RandomSubset, Laggard},
+		Algorithms:     []Algorithm{AlgAU},
+		Churns:         []ChurnSpec{{Period: 8, Flips: 1, Events: 12}},
+		Trials:         2,
+	}
+	storms := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD},
+		Sizes:          []int{64, 192},
+		DiameterBounds: []int{3},
+		Schedulers:     []SchedulerSpec{Synchronous, RoundRobin},
+		Algorithms:     []Algorithm{AlgAU},
+		// The fault model stretches every run well past the storm period
+		// (two bursts with 48-round soaks), so the rare-but-massive events
+		// are guaranteed to land mid-run — including inside verified
+		// recovery phases — instead of after a lucky early stabilization.
+		Faults: []FaultSpec{{Count: 12, Bursts: 2, SoakRounds: 48}},
+		Churns: []ChurnSpec{
+			{Period: 24, Flips: 12, Events: 4},
+			{Period: 24, Flips: 8, Crash: 3, Events: 4},
+		},
+		Trials: 2,
+	}
+	composed := Matrix{
+		Families:       []graph.Family{graph.FamilyBoundedD, graph.FamilyTree},
+		Sizes:          []int{64},
+		DiameterBounds: []int{3},
+		Schedulers:     []SchedulerSpec{Synchronous, RandomSubset},
+		Algorithms:     []Algorithm{AlgAU},
+		Faults:         []FaultSpec{{Count: 8, Bursts: 2, SoakRounds: 4}},
+		Churns:         []ChurnSpec{{Period: 16, Flips: 2, Crash: 1, Events: 8}},
+		Trials:         2,
+	}
+	return Concat(seed, steady, storms, composed)
 }

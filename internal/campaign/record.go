@@ -40,6 +40,15 @@ type Record struct {
 	FaultBursts    int `json:"fault_bursts,omitempty"`
 	RecoveryRounds int `json:"recovery_rounds,omitempty"`
 
+	// Topology-churn outcome (absent when the scenario freezes the
+	// topology): the scenario's churn model, the number of committed edge
+	// mutations, and the number of ops cancelled by the connectivity /
+	// diameter guards. All three are deterministic functions of the
+	// scenario seed, independent of execution mode.
+	Churn        string `json:"churn,omitempty"`
+	ChurnOps     int    `json:"churn_ops,omitempty"`
+	ChurnSkipped int    `json:"churn_skipped,omitempty"`
+
 	// WallMS is the run's wall-clock duration in milliseconds (0 when the
 	// runner's Timing option is off).
 	WallMS float64 `json:"wall_ms,omitempty"`
@@ -79,7 +88,8 @@ func AppendJSONL(w io.Writer, rec Record) error {
 var csvHeader = []string{
 	"scenario", "family", "n", "m", "d", "diameter", "scheduler", "algorithm",
 	"trial", "seed", "rounds", "steps", "budget", "headroom",
-	"fault_count", "fault_bursts", "recovery_rounds", "wall_ms", "ok", "error",
+	"fault_count", "fault_bursts", "recovery_rounds",
+	"churn", "churn_ops", "churn_skipped", "wall_ms", "ok", "error",
 }
 
 // WriteCSV writes the records as CSV with a header row.
@@ -99,6 +109,7 @@ func WriteCSV(w io.Writer, recs []Record) error {
 			strconv.FormatFloat(r.Headroom, 'g', -1, 64),
 			strconv.Itoa(r.FaultCount), strconv.Itoa(r.FaultBursts),
 			strconv.Itoa(r.RecoveryRounds),
+			r.Churn, strconv.Itoa(r.ChurnOps), strconv.Itoa(r.ChurnSkipped),
 			strconv.FormatFloat(r.WallMS, 'g', -1, 64),
 			strconv.FormatBool(r.OK), r.Err,
 		}

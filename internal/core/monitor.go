@@ -332,6 +332,53 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 	}
 }
 
+// RewireEdge implements sim.TopologyObserver: the undirected edge (u, v)
+// was added to or removed from the monitor's graph by a topology mutation
+// (graph.Delta applied at a step boundary). In the deferred regime nothing
+// needs repair — the raw mirror is topology-free and every scan walks the
+// graph's current adjacency. In the incremental regime the counters are
+// patched in O(1): the edge contributes one unprotected-incident-edge unit
+// to each endpoint when their levels are not adjacent, and one
+// faulty-neighbor unit to the endpoint across from a faulty node.
+//
+// RewireEdge must run on the coordinator between steps (the engines apply
+// churn only there), so the per-shard bad slots of a sharded monitor may be
+// touched for both endpoints even when they live in different shards.
+func (m *GoodMonitor) RewireEdge(u, v int, added bool) {
+	if m.deferred {
+		return
+	}
+	uWasGood, vWasGood := m.nodeGood(u), m.nodeGood(v)
+	var d int32 = 1
+	if !added {
+		d = -1
+	}
+	if !m.au.ls.Adjacent(m.level[u], m.level[v]) {
+		m.unprot[u] += d
+		m.unprot[v] += d
+	}
+	if m.faulty[v] {
+		m.fnbrs[u] += d
+	}
+	if m.faulty[u] {
+		m.fnbrs[v] += d
+	}
+	if uGood := m.nodeGood(u); uGood != uWasGood {
+		if uGood {
+			m.bad[m.shard(u)]--
+		} else {
+			m.bad[m.shard(u)]++
+		}
+	}
+	if vGood := m.nodeGood(v); vGood != vWasGood {
+		if vGood {
+			m.bad[m.shard(v)]--
+		} else {
+			m.bad[m.shard(v)]++
+		}
+	}
+}
+
 // Good reports whether the graph is good (every node good) — the AlgAU
 // stabilization condition. In the incremental regime (after the graph first
 // turned good) it is O(1) (O(P) per-shard combine when sharded). In the

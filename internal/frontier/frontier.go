@@ -121,6 +121,18 @@ func (s *Set) Fill() {
 	}
 }
 
+// Rebuild returns a new set over the same node domain, laid out for the
+// given shard bounds (see NewSharded) and containing this set's members.
+// The sharded engines use it to migrate the dirty bits onto a fresh
+// partition after a churn-triggered repartition.
+func (s *Set) Rebuild(starts []int, shardOf []int32) *Set {
+	next := NewSharded(s.n, starts, shardOf)
+	for _, v := range s.AppendTo(nil) {
+		next.Add(v)
+	}
+	return next
+}
+
 // AppendTo appends all members to buf in ascending node order and returns
 // the extended slice. The scan costs O(n/64 + |members|) regardless of
 // occupancy, which is negligible next to even one skipped signal

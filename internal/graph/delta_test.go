@@ -1,0 +1,325 @@
+package graph_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"thinunison/internal/graph"
+)
+
+// model is the reference implementation a Delta must agree with: a plain
+// edge-set plus crash bookkeeping, rebuilt from scratch with graph.New.
+type model struct {
+	n       int
+	edges   map[[2]int]bool
+	crashed map[int]bool
+	saved   map[int][]int
+}
+
+func newModel(g *graph.Graph) *model {
+	m := &model{n: g.N(), edges: map[[2]int]bool{}, crashed: map[int]bool{}, saved: map[int][]int{}}
+	for _, e := range g.Edges() {
+		m.edges[e] = true
+	}
+	return m
+}
+
+func norm(u, v int) [2]int {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int{u, v}
+}
+
+func (m *model) insert(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= m.n || v >= m.n || m.crashed[u] || m.crashed[v] {
+		return
+	}
+	m.edges[norm(u, v)] = true
+}
+
+func (m *model) delete(u, v int) {
+	if u == v || u < 0 || v < 0 || u >= m.n || v >= m.n {
+		return
+	}
+	delete(m.edges, norm(u, v))
+}
+
+func (m *model) crash(v int) {
+	if v < 0 || v >= m.n || m.crashed[v] {
+		return
+	}
+	var nbrs []int
+	for e := range m.edges {
+		if e[0] == v {
+			nbrs = append(nbrs, e[1])
+		} else if e[1] == v {
+			nbrs = append(nbrs, e[0])
+		}
+	}
+	for _, u := range nbrs {
+		delete(m.edges, norm(u, v))
+	}
+	m.crashed[v] = true
+	m.saved[v] = nbrs
+}
+
+func (m *model) revive(v int) {
+	if v < 0 || v >= m.n || !m.crashed[v] {
+		return
+	}
+	delete(m.crashed, v)
+	for _, u := range m.saved[v] {
+		if m.crashed[u] {
+			m.saved[u] = append(m.saved[u], v)
+			continue
+		}
+		m.edges[norm(u, v)] = true
+	}
+	delete(m.saved, v)
+}
+
+// rebuild constructs the model's edge set from scratch via graph.New.
+func (m *model) rebuild(t testing.TB) *graph.Graph {
+	t.Helper()
+	var edges [][2]int
+	for e := range m.edges {
+		edges = append(edges, e)
+	}
+	g, err := graph.New(m.n, edges)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return g
+}
+
+// applyOp drives one scripted operation into both the delta and the model.
+// op selects the kind, u/v the operands (reduced mod n by the caller).
+func applyOp(t testing.TB, d *graph.Delta, m *model, op, u, v int) {
+	t.Helper()
+	switch op % 4 {
+	case 0:
+		if err := d.InsertEdge(u, v); err == nil {
+			m.insert(u, v)
+		}
+	case 1:
+		if err := d.DeleteEdge(u, v); err == nil {
+			m.delete(u, v)
+		}
+	case 2:
+		if err := d.Crash(u); err == nil {
+			m.crash(u)
+		}
+	case 3:
+		if err := d.Revive(u); err == nil {
+			m.revive(u)
+		}
+	}
+}
+
+// checkAgainstRebuild asserts that the delta-mutated graph is structurally
+// identical to a from-scratch graph.New rebuild of the model's edge set:
+// same N/M, equal sorted-ascending adjacency (the CSR invariant every
+// engine's binary-search HasEdge depends on), equal edge lists, and the same
+// connectivity verdict.
+func checkAgainstRebuild(t testing.TB, g *graph.Graph, m *model) {
+	t.Helper()
+	want := m.rebuild(t)
+	if g.N() != want.N() || g.M() != want.M() {
+		t.Fatalf("size mismatch: delta graph n=%d m=%d, rebuild n=%d m=%d", g.N(), g.M(), want.N(), want.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		got := g.Neighbors(v)
+		for i := 1; i < len(got); i++ {
+			if got[i-1] >= got[i] {
+				t.Fatalf("node %d adjacency not strictly ascending: %v", v, got)
+			}
+		}
+		if w := want.Neighbors(v); !reflect.DeepEqual(append([]int{}, got...), append([]int{}, w...)) {
+			t.Fatalf("node %d adjacency mismatch: delta %v, rebuild %v", v, got, w)
+		}
+	}
+	if g.Connected() != want.Connected() {
+		t.Fatalf("connectivity mismatch: delta %v, rebuild %v", g.Connected(), want.Connected())
+	}
+	if want.Connected() {
+		if err := g.Validate(); err != nil {
+			t.Fatalf("Validate on connected delta graph: %v", err)
+		}
+	}
+}
+
+// TestDeltaRandomAgainstRebuild runs random mutation sequences with periodic
+// compaction and compares the in-place-mutated graph against a from-scratch
+// rebuild after every Apply — the deterministic twin of FuzzDeltaApply.
+func TestDeltaRandomAgainstRebuild(t *testing.T) {
+	for _, n := range []int{2, 5, 9, 17} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			g, err := graph.RandomConnected(n, 0.3, rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := graph.NewDelta(g)
+			m := newModel(g)
+			for step := 0; step < 200; step++ {
+				applyOp(t, d, m, rng.Intn(4), rng.Intn(n), rng.Intn(n))
+				if rng.Intn(7) == 0 {
+					d.Apply()
+					checkAgainstRebuild(t, g, m)
+				}
+			}
+			d.Apply()
+			checkAgainstRebuild(t, g, m)
+		}
+	}
+}
+
+// TestDeltaMergedView pins the pre-commit query surface: HasEdge, Degree,
+// Connected and DiameterBounds must describe the staged (merged) topology,
+// and cancelling operations must restore the base exactly.
+func TestDeltaMergedView(t *testing.T) {
+	g, err := graph.Cycle(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDelta(g)
+	if !d.HasEdge(0, 1) || d.HasEdge(0, 3) {
+		t.Fatal("merged view must start at the base graph")
+	}
+	if err := d.InsertEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !d.HasEdge(0, 3) || d.Degree(0) != 3 || d.Pending() != 1 {
+		t.Fatalf("staged insertion not visible: has=%v deg=%d pending=%d", d.HasEdge(0, 3), d.Degree(0), d.Pending())
+	}
+	if g.HasEdge(0, 3) {
+		t.Fatal("staged insertion must not touch the base graph before Apply")
+	}
+	if lo, up := d.DiameterBounds(); lo < 1 || up > 2*3 {
+		t.Fatalf("merged diameter bounds out of range: [%d, %d]", lo, up)
+	}
+	// A cycle edge is never a bridge; the merged view stays connected.
+	if err := d.DeleteEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Connected() {
+		t.Fatal("cycle minus one edge plus a chord must stay connected")
+	}
+	// Cancel both ops: the delta is empty again and Apply is a no-op.
+	if err := d.DeleteEdge(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InsertEdge(3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.Pending() != 0 {
+		t.Fatalf("cancelled ops left %d pending", d.Pending())
+	}
+	if changes, touched := d.Apply(); changes != nil || touched != nil {
+		t.Fatalf("empty Apply returned %v, %v", changes, touched)
+	}
+	if g.M() != 6 {
+		t.Fatalf("base graph changed by cancelled batch: m=%d", g.M())
+	}
+}
+
+// TestDeltaApplyReporting pins the Apply contract: committed changes sorted
+// by (U, V) with U < V, touched nodes sorted and distinct, Applied
+// accumulating.
+func TestDeltaApplyReporting(t *testing.T) {
+	g, err := graph.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDelta(g)
+	if err := d.InsertEdge(4, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteEdge(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	changes, touched := d.Apply()
+	wantChanges := []graph.EdgeChange{{U: 0, V: 4, Added: true}, {U: 1, V: 2, Added: false}}
+	if !reflect.DeepEqual(changes, wantChanges) {
+		t.Fatalf("changes = %v, want %v", changes, wantChanges)
+	}
+	if want := []int{0, 1, 2, 4}; !reflect.DeepEqual(touched, want) {
+		t.Fatalf("touched = %v, want %v", touched, want)
+	}
+	if d.Applied() != 2 {
+		t.Fatalf("Applied = %d, want 2", d.Applied())
+	}
+	if !g.HasEdge(0, 4) || g.HasEdge(1, 2) || g.M() != 4 {
+		t.Fatalf("base graph not mutated to the merged view: %v", g)
+	}
+}
+
+// TestDeltaCrashRevive covers the crash/revive macro including the
+// crashed-neighbor handover: edges between two crashed nodes must resurface
+// exactly when both endpoints are back.
+func TestDeltaCrashRevive(t *testing.T) {
+	g, err := graph.Complete(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := graph.NewDelta(g)
+	m := newModel(g)
+	script := []struct{ op, u int }{
+		{2, 0}, // crash 0
+		{2, 1}, // crash 1 (edge 0-1 already gone)
+		{3, 0}, // revive 0: edge 0-1 handed to 1's saved list
+		{3, 1}, // revive 1: edge 0-1 restored
+	}
+	for _, s := range script {
+		applyOp(t, d, m, s.op, s.u, 0)
+		d.Apply()
+		checkAgainstRebuild(t, g, m)
+	}
+	if g.M() != 6 {
+		t.Fatalf("complete graph not fully restored after crash/revive cycle: m=%d", g.M())
+	}
+	// Edge ops against a crashed endpoint are rejected.
+	if err := d.Crash(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.InsertEdge(0, 3); err == nil {
+		t.Fatal("insert against a crashed endpoint must fail")
+	}
+	if err := d.DeleteEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !d.Crashed(3) || d.Crashed(0) {
+		t.Fatal("crash bookkeeping wrong")
+	}
+}
+
+// FuzzDeltaApply feeds arbitrary mutation scripts to a Delta and checks the
+// in-place-compacted graph against a from-scratch graph.New rebuild: equal
+// adjacency (sorted ascending), equal size, and a clean Validate whenever
+// the result is connected.
+func FuzzDeltaApply(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 2, 3}, uint8(5))
+	f.Add([]byte{2, 0, 0, 3, 0, 0, 1, 4, 1}, uint8(7))
+	f.Add([]byte{1, 0, 1, 1, 1, 2, 1, 2, 3}, uint8(4))
+	f.Fuzz(func(t *testing.T, script []byte, size uint8) {
+		n := 2 + int(size)%14
+		g, err := graph.Cycle(max(n, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n = g.N()
+		d := graph.NewDelta(g)
+		m := newModel(g)
+		for i := 0; i+2 < len(script); i += 3 {
+			applyOp(t, d, m, int(script[i]), int(script[i+1])%n, int(script[i+2])%n)
+			if script[i]%5 == 4 {
+				d.Apply()
+				checkAgainstRebuild(t, g, m)
+			}
+		}
+		d.Apply()
+		checkAgainstRebuild(t, g, m)
+	})
+}

@@ -44,9 +44,12 @@ func (e *OutOfRangeError) Error() string {
 // Graph is a finite simple undirected graph with nodes 0..N-1.
 //
 // The zero value is not usable; construct graphs with New or one of the
-// family builders in this package. Graph values are immutable once built
-// (Builder freezes adjacency lists), so they may be shared freely across
-// goroutines.
+// family builders in this package. Graph values are immutable through this
+// type's own API (Builder freezes adjacency lists), so they may be shared
+// freely across goroutines; the one sanctioned mutation path is a Delta
+// overlay, whose Apply re-compacts the CSR arrays in place at a point where
+// no reader is iterating (engines apply churn at step boundaries, on the
+// coordinator).
 //
 // Adjacency is stored in compressed sparse row (CSR) form: one flat
 // neighbors slice plus per-node offsets. Iterating a node's neighborhood —

@@ -311,6 +311,106 @@ func FrontierRecovery(n, faults int, frontier bool) func(b *testing.B) {
 	}
 }
 
+// ChurnRecovery measures one topology-churn recovery cycle on a stabilized
+// n-node instance under the laggard scheduler (period 8): each iteration
+// crashes a fixed cell through the engine churn path (sim.Engine.ApplyDelta
+// — all its links drop in one CSR re-compaction), runs driftRounds rounds —
+// the isolated cell's clock races ahead of the laggard-throttled tissue —
+// then revives it and runs back to the good set. The re-inserted edges are
+// unprotected (the clocks disagree by far more than one), so the revival
+// triggers a genuine localized recovery wave around the crash site.
+//
+// Dense execution pays Θ(n) per step for that localized wave — the forced
+// full re-scan of every settled node — while frontier execution pays only
+// for the wave itself, reseeded from the churn path's endpoint
+// invalidation: the dense/frontier ratio is the churn series of
+// BENCH_hotpath.json.
+func ChurnRecovery(n int, frontier bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, _, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Pick the first node whose crash keeps the tissue connected, and
+		// size the clock for the worst topology of the cycle (the double
+		// sweep never under-reports the diameter, and crashing a node can
+		// stretch it past the construction bound).
+		probe := graph.NewDelta(g)
+		_, upper := g.DiameterBounds()
+		victim := -1
+		for v := 1; v < g.N() && victim < 0; v++ {
+			if err := probe.Crash(v); err != nil {
+				b.Fatal(err)
+			}
+			if probe.Connected() {
+				if _, up := probe.DiameterBounds(); up >= 0 {
+					victim = v
+					if up > upper {
+						upper = up
+					}
+				}
+			}
+			if err := probe.Revive(v); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if victim < 0 {
+			b.Fatal("no crashable cell keeps the tissue connected")
+		}
+		au, err := core.NewAU(upper)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := stabilizedConfig(b, g, au)
+		eng, err := sim.New(g, au, sim.Options{
+			Initial:   cfg,
+			Scheduler: sched.NewLaggard(0, 8),
+			Seed:      4,
+			Frontier:  frontier,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := core.NewGoodMonitor(au, g, eng.Config())
+		eng.Observe(mon)
+		cond := func(*sim.Engine) bool { return mon.Good() }
+		roundBudget := budget.AU(au.K())
+		if err := eng.RunRounds(2); err != nil {
+			b.Fatal(err)
+		}
+		if !cond(eng) {
+			b.Fatal("stabilized instance left the good set during warm-up")
+		}
+		const driftRounds = 2
+		delta := graph.NewDelta(g)
+		total := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := delta.Crash(victim); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.ApplyDelta(delta); err != nil {
+				b.Fatal(err)
+			}
+			if err := eng.RunRounds(driftRounds); err != nil {
+				b.Fatal(err)
+			}
+			if err := delta.Revive(victim); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := eng.ApplyDelta(delta); err != nil {
+				b.Fatal(err)
+			}
+			r, err := eng.RunUntil(cond, roundBudget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			total += r
+		}
+		b.ReportMetric(float64(total)/float64(b.N), "rounds/op")
+	}
+}
+
 // ShardName returns the canonical name of a shard-scaling scenario.
 func ShardName(scenario string, n, p int) string {
 	return fmt.Sprintf("%s/n=%d/p=%d", scenario, n, p)

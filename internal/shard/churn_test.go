@@ -1,0 +1,87 @@
+package shard_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/shard"
+)
+
+// verifyClassification checks every node's interior flag and every shard's
+// boundary list against a from-scratch recomputation over the (mutated)
+// graph, using the partition's own shard-of table.
+func verifyClassification(t *testing.T, pt *shard.Partition, g *graph.Graph) {
+	t.Helper()
+	wantBoundary := make([][]int, pt.P())
+	for v := 0; v < g.N(); v++ {
+		s := pt.ShardOf(v)
+		inter := true
+		for _, w := range g.Neighbors(v) {
+			if pt.ShardOf(w) != s {
+				inter = false
+				break
+			}
+		}
+		if got := pt.Interior(v); got != inter {
+			t.Fatalf("node %d: Interior=%v, recomputation=%v", v, got, inter)
+		}
+		if !inter {
+			wantBoundary[s] = append(wantBoundary[s], v)
+		}
+	}
+	for s := 0; s < pt.P(); s++ {
+		got := pt.Boundary(s)
+		if !sort.IntsAreSorted(got) {
+			t.Fatalf("shard %d boundary not sorted: %v", s, got)
+		}
+		if len(got) != len(wantBoundary[s]) {
+			t.Fatalf("shard %d boundary = %v, want %v", s, got, wantBoundary[s])
+		}
+		for i := range got {
+			if got[i] != wantBoundary[s][i] {
+				t.Fatalf("shard %d boundary = %v, want %v", s, got, wantBoundary[s])
+			}
+		}
+	}
+}
+
+// TestReclassifyMatchesRecomputation: after arbitrary edge churn with
+// per-endpoint Reclassify calls, the partition's interior/boundary
+// classification must equal a from-scratch recomputation over the mutated
+// graph (shard bounds held fixed — rebalancing is the engines'
+// threshold-repartition's job, not Reclassify's).
+func TestReclassifyMatchesRecomputation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base, err := graph.RandomConnected(60, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 7} {
+		g, err := graph.New(base.N(), base.Edges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt := shard.NewPartition(g, p)
+		d := graph.NewDelta(g)
+		for round := 0; round < 150; round++ {
+			u, v := rng.Intn(g.N()), rng.Intn(g.N()-1)
+			if v >= u {
+				v++
+			}
+			if d.HasEdge(u, v) {
+				if err := d.DeleteEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			} else if err := d.InsertEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+			_, touched := d.Apply()
+			for _, w := range touched {
+				pt.Reclassify(w)
+			}
+			verifyClassification(t, pt, g)
+		}
+	}
+}

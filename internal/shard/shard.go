@@ -28,6 +28,7 @@ package shard
 
 import (
 	"fmt"
+	"sort"
 
 	"thinunison/internal/graph"
 )
@@ -131,6 +132,74 @@ func (pt *Partition) Interior(v int) bool { return pt.interior[v] }
 // Boundary returns the ascending list of boundary nodes of shard s (nodes
 // with at least one cross-shard edge). The slice is owned by the partition.
 func (pt *Partition) Boundary(s int) []int { return pt.boundary[s] }
+
+// ChurnRepartitionDivisor tunes the threshold-triggered repartition of the
+// sharded engines: a full repartition runs once the accumulated churn
+// weight (1 + deg v per touched endpoint) exceeds 1/4 of the total node
+// cost, so its O(n + m) price is amortized against at least Θ(n + m) of
+// committed churn while the edge balance never drifts more than a constant
+// factor.
+const ChurnRepartitionDivisor = 4
+
+// RewireAfterChurn is the sharded engines' shared post-churn repair policy:
+// it accumulates the committed batch's weight into *accum and either
+// re-classifies the touched endpoints in place (returning the receiver,
+// false) or — once the weight crosses the repartition threshold — resets
+// the accumulator and builds a fresh partition of the mutated graph
+// (returning it, true). When rebuilt is true the caller must migrate its
+// partition-shaped state: frontier bitsets (frontier.Set.Rebuild) and any
+// per-shard observer counters. Layout-only either way: staged results and
+// merges are independent of the partition, so churn runs stay
+// byte-identical at every worker count.
+func (pt *Partition) RewireAfterChurn(accum *int, touched []int) (next *Partition, rebuilt bool) {
+	g := pt.g
+	for _, v := range touched {
+		*accum += 1 + g.Degree(v)
+	}
+	if ChurnRepartitionDivisor*(*accum) >= g.N()+2*g.M() {
+		*accum = 0
+		return NewPartition(g, pt.P()), true
+	}
+	for _, v := range touched {
+		pt.Reclassify(v)
+	}
+	return pt, false
+}
+
+// Reclassify recomputes the interior/boundary classification of node v
+// against the graph's current adjacency, in O(deg v + log |boundary|). Call
+// it for every endpoint of a topology mutation (a graph.Delta applied at a
+// step boundary): an edge change at (u, v) can alter the classification of
+// u and v only, since no other node's neighbor set moves. The shard bounds
+// themselves stay fixed — the edge-balance drift of sustained churn is
+// repaired by a threshold-triggered full repartition in the engines.
+func (pt *Partition) Reclassify(v int) {
+	s := int(pt.shardOf[v])
+	inter := true
+	for _, w := range pt.g.Neighbors(v) {
+		if int(pt.shardOf[w]) != s {
+			inter = false
+			break
+		}
+	}
+	if inter == pt.interior[v] {
+		return
+	}
+	pt.interior[v] = inter
+	b := pt.boundary[s]
+	i := sort.SearchInts(b, v)
+	if inter {
+		// v left the boundary list.
+		if i < len(b) && b[i] == v {
+			pt.boundary[s] = append(b[:i], b[i+1:]...)
+		}
+	} else if i == len(b) || b[i] != v {
+		b = append(b, 0)
+		copy(b[i+1:], b[i:])
+		b[i] = v
+		pt.boundary[s] = b
+	}
+}
 
 // String returns a short description for error messages and traces.
 func (pt *Partition) String() string {

@@ -22,6 +22,13 @@
 // activated nodes wholesale, so a step costs O(|A_t ∩ frontier|·Δ) rather
 // than O(|A_t|·Δ) while staying byte-identical to the dense run at every
 // parallelism.
+//
+// The topology itself may churn mid-run: Options.Churn applies scripted or
+// stochastic graph.Delta mutations at step boundaries (cells die, divide
+// back, links rewire), repairing the frontier, the registered observer and
+// the shard classification in the same motion — see churn.go and
+// Engine.ApplyDelta. Churn draws from its own rng, so churn runs remain
+// byte-identical across all execution modes.
 package sim
 
 import (
@@ -100,8 +107,9 @@ type Engine struct {
 	faultBuf      []int // reusable permutation buffer for InjectFaults
 	actBuf        []int // canonicalization buffer for unsorted activation lists
 
-	par *parRuntime      // sharded-execution runtime; nil in classic mode
-	fr  *frontierRuntime // frontier-sparse runtime; nil in dense mode
+	par   *parRuntime      // sharded-execution runtime; nil in classic mode
+	fr    *frontierRuntime // frontier-sparse runtime; nil in dense mode
+	churn *churnRuntime    // topology-churn driver; nil when Options.Churn is off
 }
 
 // frontierRuntime holds the frontier-sparse execution state of an engine:
@@ -140,6 +148,11 @@ type parRuntime struct {
 	sigs    []sa.Signal  // per-worker signal scratch
 
 	shObs ShardedObserver // obs, when it supports concurrent interior delivery
+
+	// churnAccum is the accumulated topology-churn weight since the last
+	// (re)partition; crossing the repartition threshold triggers a full
+	// rebuild (see rewire).
+	churnAccum int
 
 	// stage and applyInterior are the per-phase worker bodies, built once at
 	// construction so the steady step loop allocates no closures.
@@ -199,6 +212,16 @@ type Options struct {
 	// The option is ignored (dense execution) when the algorithm does not
 	// implement sa.SelfLooper.
 	Frontier bool
+
+	// Churn enables mid-run topology churn: the spec's scripted events and
+	// stochastic edge flips are applied at step boundaries through
+	// ApplyDelta, so every incremental layer (frontier, observer counters,
+	// shard classification) is repaired in the same motion. nil (or an
+	// empty spec) freezes the topology, the classic behavior. Churn draws
+	// from its own rng (ChurnSpec.Seed), so churn runs remain
+	// byte-identical across execution modes (dense/frontier, any
+	// Parallelism) exactly like churn-free runs.
+	Churn *ChurnSpec
 }
 
 // New returns an engine for alg on g.
@@ -322,6 +345,13 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		}
 		e.fr.set.Fill() // nothing is certified yet: every node starts dirty
 	}
+	if opts.Churn.active() {
+		cr, err := newChurnRuntime(g, *opts.Churn)
+		if err != nil {
+			return nil, err
+		}
+		e.churn = cr
+	}
 	return e, nil
 }
 
@@ -441,6 +471,13 @@ func (e *Engine) InjectFaults(count int) []int {
 // paper's simultaneous-update semantics. On a sharded engine the staging
 // fans out across the worker pool; see Options.Parallelism.
 func (e *Engine) Step() error {
+	if e.churn != nil {
+		// Step-boundary churn: mutate the topology before this step's
+		// activation set is drawn, so the step runs on the new graph.
+		if err := e.applyChurn(); err != nil {
+			return fmt.Errorf("sim: churn at step %d: %w", e.step, err)
+		}
+	}
 	if e.fr != nil {
 		e.stepFrontier()
 	} else {

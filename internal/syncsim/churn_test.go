@@ -1,0 +1,139 @@
+package syncsim_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"thinunison/internal/graph"
+	"thinunison/internal/syncsim"
+)
+
+// TestSyncsimApplyDeltaDifferential: mid-run topology churn must keep every
+// execution mode — dense, frontier-sparse, sharded, sharded frontier — on
+// the byte-identical trajectory of the dense sequential engine, through
+// re-classification and threshold repartitions alike. The gossip program's
+// frontier genuinely drains between perturbations, so this also exercises
+// churn-driven re-dirtying of settled nodes (a deleted edge can lower the
+// reachable maximum of a whole region; a stale settled flag would freeze
+// it).
+func TestSyncsimApplyDeltaDifferential(t *testing.T) {
+	base := gossipGraph(t)
+	init := gossipInitial(base.N(), 5)
+	type eng struct {
+		name string
+		g    *graph.Graph
+		e    *syncsim.Engine[gossip]
+		d    *graph.Delta
+	}
+	// The gossip program consumes rng, so classic engines (p = 0, shared
+	// stream) and sharded engines (p >= 1, per-(round, node) streams) form
+	// two separate equivalence classes; within each, every mode must match
+	// its reference byte for byte. refOf[i] is the class reference index.
+	refOf := []int{0, 0, 2, 2, 2}
+	var engines []*eng
+	for _, m := range []struct {
+		name     string
+		p        int
+		frontier bool
+	}{
+		{"dense", 0, false},
+		{"frontier", 0, true},
+		{"sharded-p1", 1, false},
+		{"sharded-p3", 3, false},
+		{"sharded-frontier-p8", 8, true},
+	} {
+		g, err := graph.New(base.N(), base.Edges())
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := syncsim.NewParallel(g, gossipStep, init, 9, m.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		if m.frontier {
+			e.EnableFrontier(gossipSettled)
+		}
+		engines = append(engines, &eng{name: m.name, g: g, e: e, d: graph.NewDelta(g)})
+	}
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < 120; round++ {
+		if round%10 == 5 {
+			// One guarded random flip, identical across engines (each works
+			// its own graph copy with its own delta; the op stream is shared).
+			u, v := rng.Intn(base.N()), rng.Intn(base.N()-1)
+			if v >= u {
+				v++
+			}
+			for _, en := range engines {
+				if en.d.HasEdge(u, v) {
+					if err := en.d.DeleteEdge(u, v); err != nil {
+						t.Fatal(err)
+					}
+					if !en.d.Connected() {
+						if err := en.d.InsertEdge(u, v); err != nil {
+							t.Fatal(err)
+						}
+					}
+				} else if err := en.d.InsertEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := en.e.ApplyDelta(en.d); err != nil {
+					t.Fatalf("%s: %v", en.name, err)
+				}
+			}
+		}
+		if round%25 == 20 {
+			for _, en := range engines {
+				en.e.SetState(3, gossip{Val: round * 1000})
+			}
+		}
+		for _, en := range engines {
+			en.e.Round()
+		}
+		for i, en := range engines {
+			ref := engines[refOf[i]]
+			if en == ref {
+				continue
+			}
+			if en.g.M() != ref.g.M() {
+				t.Fatalf("round %d: %s at m=%d, %s at m=%d", round, en.name, en.g.M(), ref.name, ref.g.M())
+			}
+			if !reflect.DeepEqual(en.e.View(), ref.e.View()) {
+				t.Fatalf("round %d: %s diverged from %s", round, en.name, ref.name)
+			}
+			got := append([]int{}, en.e.Changed()...)
+			want := append([]int{}, ref.e.Changed()...)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round %d: %s Changed=%v, %s=%v", round, en.name, got, ref.name, want)
+			}
+		}
+	}
+}
+
+// TestSyncsimApplyDeltaForeignGraph pins the refusal path.
+func TestSyncsimApplyDeltaForeignGraph(t *testing.T) {
+	g := gossipGraph(t)
+	other := gossipGraph(t)
+	e, err := syncsim.New(g, gossipStep, gossipInitial(g.N(), 1), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.ApplyDelta(graph.NewDelta(other)); err == nil {
+		t.Fatal("delta over a foreign graph must be rejected")
+	}
+	// Touched nodes come back so dirty-set stability checks know what to
+	// recheck.
+	d := graph.NewDelta(g)
+	if err := d.InsertEdge(0, g.N()-1); err != nil {
+		t.Fatal(err)
+	}
+	touched, err := e.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{0, g.N() - 1}; !reflect.DeepEqual(touched, want) {
+		t.Fatalf("touched = %v, want %v", touched, want)
+	}
+}

@@ -88,6 +88,10 @@ type parRuntime[S comparable] struct {
 	bufs    [][]S        // per-worker sense scratch
 	changed [][]int      // per-shard changed nodes of the last round
 
+	// churnAccum is the accumulated topology-churn weight since the last
+	// (re)partition; see ApplyDelta.
+	churnAccum int
+
 	// body is the per-round worker function, built once at construction so
 	// the round loop allocates no closures.
 	body func(s int)
@@ -249,6 +253,45 @@ func (e *Engine[S]) invalidate(v int) {
 	for _, u := range e.g.Neighbors(v) {
 		e.fr.set.Add(u)
 	}
+}
+
+// ApplyDelta commits a topology mutation batch between rounds and repairs
+// the engine's incremental state: touched endpoints (and their
+// neighborhoods) re-enter the frontier, and a sharded engine re-classifies
+// the endpoints' interior/boundary status — or repartitions outright once
+// accumulated churn weight crosses the threshold. The delta must wrap the
+// engine's own graph. The touched nodes are returned so callers can recheck
+// dirty-set stability (syncsim.Checker.Recheck) over exactly the affected
+// neighborhoods.
+//
+// Like SetState and InjectFaults it must run between rounds, on the
+// goroutine driving the engine. Sharded and frontier rounds after the batch
+// stay byte-identical to sequential dense rounds: the partition is layout
+// only, and the frontier seeding is the same invariant a state change
+// maintains.
+func (e *Engine[S]) ApplyDelta(d *graph.Delta) ([]int, error) {
+	if d.Graph() != e.g {
+		return nil, fmt.Errorf("syncsim: delta wraps a different graph")
+	}
+	_, touched := d.Apply()
+	if len(touched) == 0 {
+		return nil, nil
+	}
+	if e.fr != nil {
+		for _, v := range touched {
+			e.invalidate(v)
+		}
+	}
+	if pr := e.par; pr != nil {
+		next, rebuilt := pr.part.RewireAfterChurn(&pr.churnAccum, touched)
+		if rebuilt {
+			pr.part = next
+			if e.fr != nil {
+				e.fr.set = e.fr.set.Rebuild(next.Starts(), next.ShardIndex())
+			}
+		}
+	}
+	return touched, nil
 }
 
 // FrontierLen returns the number of unsettled nodes of a frontier engine,
