@@ -21,6 +21,13 @@
 // default (settled nodes are skipped until their neighborhood changes);
 // -frontier forces the mode on or off, and -frontier-check runs the preset
 // as a dense-vs-frontier divergence guard.
+//
+// Observability (see internal/obs): -progress paints a live throughput line
+// on stderr, -metrics keeps each record's engine-counter block, -debug-addr
+// serves expvar + pprof with live campaign-wide counters, -trace-every N
+// samples every Nth step of every run to -trace-out (deterministic — the
+// -*-check guards run with tracing attached to prove it never perturbs
+// records), and -flight dumps the last steps of every failed run.
 package main
 
 import (
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"thinunison/internal/campaign"
+	"thinunison/internal/obs"
 )
 
 // divergenceCheck runs every scenario under two forced variants and fails
@@ -46,8 +54,10 @@ func divergenceCheck(scenarios []campaign.Scenario, name, labelA, labelB string,
 	defer stop()
 	record := func(sc campaign.Scenario, variant func(*campaign.Scenario)) ([]byte, error) {
 		variant(&sc)
-		rec := campaign.Execute(ctx, sc)
-		rec.WallMS = 0
+		// Canonical keeps the engine block's trajectory counters in the
+		// diff (they must agree across modes too) and strips only the
+		// mode-dependent ones and wall time.
+		rec := campaign.Execute(ctx, sc).Canonical()
 		var buf bytes.Buffer
 		err := campaign.AppendJSONL(&buf, rec)
 		return buf.Bytes(), err
@@ -137,6 +147,14 @@ func run() int {
 		check   = flag.Bool("shard-check", false, "divergence guard: run every scenario sharded at P=1 and P=8 and fail if any record differs, instead of a normal campaign")
 		fcheck  = flag.Bool("frontier-check", false, "divergence guard: run every scenario dense and frontier-sparse and fail if any record differs, instead of a normal campaign")
 		ccheck  = flag.Bool("churn-check", false, "churn differential guard: run every scenario dense-P1 and frontier-P8 with the GoodMonitor full-scan oracle and fail on any divergence, instead of a normal campaign (pair with -preset bio-churn)")
+
+		metrics    = flag.Bool("metrics", false, "keep each record's engine-telemetry block (mode-dependent counters; breaks byte-for-byte comparability across execution modes)")
+		progress   = flag.Bool("progress", false, "live progress line on stderr (done/total, evals/s, ETA); never touches the JSONL stream")
+		debugAddr  = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. localhost:6060) for the campaign's lifetime")
+		traceEvery = flag.Int("trace-every", 0, "emit every Nth step of every run as a trace sample (0 = off); deterministic, never perturbs records")
+		traceOut   = flag.String("trace-out", "", "trace-sample JSONL path (default: discard, which still exercises the tracer in -*-check modes)")
+		flight     = flag.String("flight", "", "flight-recorder path: dump the last steps of every failed run as JSONL")
+		flightRing = flag.Int("flight-ring", 0, "flight-recorder depth in steps (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -150,9 +168,52 @@ func run() int {
 		fmt.Fprintln(os.Stderr, err) // the package error already carries the campaign: prefix
 		return 2
 	}
+
+	// Observability spec shared by all scenarios (each run still builds its
+	// own tracer). The sink and flight writers are concurrency-safe, so the
+	// spec works at any worker count; in -*-check modes the spec rides along
+	// on both variants, proving the differentials hold with tracing attached.
+	var obsSpec *campaign.ObsSpec
+	var flushTrace func() error
+	if *traceEvery > 0 || *flight != "" {
+		obsSpec = &campaign.ObsSpec{TraceEvery: *traceEvery, FlightRing: *flightRing}
+		if *traceEvery > 0 {
+			sinkOut := io.Discard
+			if *traceOut != "" {
+				f, err := os.Create(*traceOut)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "campaign:", err)
+					return 1
+				}
+				defer f.Close()
+				sinkOut = f
+			}
+			sink := obs.NewJSONL(sinkOut)
+			obsSpec.Sink = sink
+			flushTrace = sink.Flush
+		}
+		if *flight != "" {
+			f, err := os.Create(*flight)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+				return 1
+			}
+			defer f.Close()
+			obsSpec.Flight = &obs.LockedWriter{W: f}
+		}
+	}
+	defer func() {
+		if flushTrace != nil {
+			if err := flushTrace(); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: trace:", err)
+			}
+		}
+	}()
+
 	for i := range scenarios {
 		scenarios[i].Parallelism = *par
 		scenarios[i].Frontier = *front
+		scenarios[i].Obs = obsSpec
 	}
 
 	if *check {
@@ -187,13 +248,29 @@ func run() int {
 
 	streamErr := error(nil)
 	runner := &campaign.Runner{
-		Workers: *workers,
-		Timing:  *timing,
+		Workers:       *workers,
+		Timing:        *timing,
+		EngineMetrics: *metrics,
 		OnRecord: func(rec campaign.Record) {
 			if streamErr == nil {
 				streamErr = campaign.AppendJSONL(jsonl, rec)
 			}
 		},
+	}
+	if *progress {
+		runner.Progress = os.Stderr
+	}
+	if *debugAddr != "" {
+		// Live campaign-wide counters on /debug/vars, pprof alongside.
+		runner.Obs = &obs.Metrics{}
+		obs.Publish("campaign", runner.Obs)
+		addr, stopSrv, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "campaign: debug endpoint on http://%s/debug/vars\n", addr)
 	}
 	start := time.Now()
 	records, runErr := runner.Run(ctx, scenarios)

@@ -6,7 +6,10 @@
 // sharded over P ∈ {1, 2, 4, 8} workers at 10^5 nodes; -big adds 10^6), and
 // the frontier series (dense vs frontier-sparse execution on the quiescent
 // steady step and on post-fault recovery; -frontier-gate fails the run if
-// the quiescent speedup regresses below the given ratio).
+// the quiescent speedup regresses below the given ratio), and the obs series
+// (steady step untraced vs fully traced — counters, instrumented monitor,
+// flight ring, sampled sink; -obs-gate fails the run if tracing allocates or
+// exceeds the given overhead ratio).
 //
 // Regenerate the committed artifact with
 //
@@ -67,6 +70,21 @@ type frontierPoint struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// obsPoint is one off/on pair of the observability series: the steady step
+// with engine counters only (they are always on and part of the baseline)
+// vs the fully traced step — instrumented GoodMonitor, flight-recorder ring,
+// sampled JSONL sink every 64th step. Both walk identical trajectories
+// (sampling is keyed by step number), so the ratio is the cost of full
+// telemetry; -obs-gate pins it and the traced side's 0 allocs/op.
+type obsPoint struct {
+	Scenario string  `json:"scenario"`
+	N        int     `json:"n"`
+	OffNs    float64 `json:"off_ns_per_op"`
+	OnNs     float64 `json:"on_ns_per_op"`
+	Ratio    float64 `json:"ratio"`
+	OnAllocs int64   `json:"on_allocs_per_op"`
+}
+
 type artifact struct {
 	Tool           string          `json:"tool"`
 	GoVersion      string          `json:"go_version"`
@@ -81,6 +99,9 @@ type artifact struct {
 	// trajectories (the churn differential guard enforces it), so the
 	// ratio isolates the execution-mode win on churn recovery.
 	ChurnSeries []frontierPoint `json:"churn_series"`
+	// ObsSeries is the telemetry-overhead series: steady step untraced vs
+	// fully traced (see obsPoint).
+	ObsSeries []obsPoint `json:"obs_series"`
 }
 
 func measure(name string, n, iters int, fn func(b *testing.B)) entry {
@@ -108,6 +129,7 @@ func main() {
 	quick := flag.Bool("quick", false, "skip the slowest (n=10000 full-scan) measurements and shrink the shard series")
 	big := flag.Bool("big", false, "extend the shard-scaling series to a 10^6-node instance")
 	gate := flag.Float64("frontier-gate", 0, "fail (exit 1) if the quiescent-steady-step frontier speedup at the largest measured n falls below this ratio (0 disables); CI uses 10 to catch a regression back to Θ(n) steps")
+	obsGate := flag.Float64("obs-gate", 0, "fail (exit 1) if full tracing allocates on the steady step, or slows the largest measured n down by more than this ratio (0 disables); CI uses 1.5")
 	testing.Init()
 	flag.Parse()
 
@@ -116,14 +138,25 @@ func main() {
 	a.GoVersion = runtime.Version()
 	a.NumCPU = runtime.NumCPU()
 
-	// Steady-state step throughput: the allocation-free inner loop.
+	// Steady-state step throughput: the allocation-free inner loop, untraced
+	// (engine counters are always on) and fully traced. Each pair becomes a
+	// point of the obs series.
 	for _, n := range []int{1000, 10000, 100000} {
 		iters := 2000
 		if n >= 100000 {
 			iters = 100
 		}
-		a.Benchmarks = append(a.Benchmarks,
-			measure(hotpath.Name("steady-step", n, hotpath.Incremental), n, iters, hotpath.SteadyStep(n)))
+		off := measure(hotpath.Name("steady-step", n, hotpath.Incremental), n, iters, hotpath.SteadyStep(n))
+		on := measure(fmt.Sprintf("steady-step-traced/n=%d", n), n, iters, hotpath.SteadyStepTraced(n))
+		a.Benchmarks = append(a.Benchmarks, off, on)
+		a.ObsSeries = append(a.ObsSeries, obsPoint{
+			Scenario: "steady-step",
+			N:        n,
+			OffNs:    off.NsPerOp,
+			OnNs:     on.NsPerOp,
+			Ratio:    on.NsPerOp / off.NsPerOp,
+			OnAllocs: on.AllocsPerOp,
+		})
 	}
 
 	// Stabilization from a random configuration, and fault-storm recovery,
@@ -258,6 +291,26 @@ func main() {
 	if *gate > 0 {
 		fmt.Fprintf(os.Stderr, "frontier gate OK: quiescent-steady-step/n=%d speedup %.2fx >= %.2fx\n",
 			headline.N, headline.Speedup, *gate)
+	}
+
+	if *obsGate > 0 {
+		// Allocation pin on every point; ratio pin on the largest n, where a
+		// single step is long enough that the ratio is noise-free.
+		for _, p := range a.ObsSeries {
+			if p.OnAllocs > 0 {
+				fmt.Fprintf(os.Stderr, "obs gate FAILED: steady-step-traced/n=%d allocates %d allocs/op (tracing must stay allocation-free)\n",
+					p.N, p.OnAllocs)
+				os.Exit(1)
+			}
+		}
+		last := a.ObsSeries[len(a.ObsSeries)-1]
+		if last.Ratio > *obsGate {
+			fmt.Fprintf(os.Stderr, "obs gate FAILED: steady-step/n=%d traced/untraced ratio %.2fx > allowed %.2fx\n",
+				last.N, last.Ratio, *obsGate)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "obs gate OK: tracing allocation-free, steady-step/n=%d ratio %.2fx <= %.2fx\n",
+			last.N, last.Ratio, *obsGate)
 	}
 
 	f, err := os.Create(*out)

@@ -11,14 +11,18 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 
 	paperbudget "thinunison/internal/budget"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/sched"
 	"thinunison/internal/sim"
 	"thinunison/internal/trace"
@@ -42,6 +46,12 @@ func run() error {
 		traceFlag = flag.Bool("trace", false, "print the configuration every round")
 		pulses    = flag.Int("pulses", 10, "post-stabilization rounds to trace")
 		csvPath   = flag.String("csv", "", "write per-round metrics to this CSV file")
+
+		debugAddr  = flag.String("debug-addr", "", "serve expvar + pprof on this address for the run's lifetime")
+		traceEvery = flag.Int("trace-every", 0, "emit every Nth step as a JSONL trace sample to -trace-out (0 = off)")
+		traceOut   = flag.String("trace-out", "", "step-trace JSONL path (- or empty = stderr)")
+		flightRing = flag.Int("flight-ring", 0, "flight-recorder depth in steps (0 = default 64); dumped on stderr when the run fails")
+		stats      = flag.Bool("stats", false, "print the engine's metric snapshot on exit")
 	)
 	flag.Parse()
 
@@ -78,8 +88,46 @@ func run() error {
 		return fmt.Errorf("unknown scheduler %q", *schedName)
 	}
 
-	eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: *seed})
+	if *debugAddr != "" {
+		addr, stopSrv, err := obs.Serve(*debugAddr)
+		if err != nil {
+			return err
+		}
+		defer stopSrv()
+		fmt.Fprintf(os.Stderr, "unisonsim: debug endpoint on http://%s/debug/vars\n", addr)
+	}
+
+	// Always attach a tracer: the ring is the flight recorder dumped on
+	// failure, and -trace-every additionally samples steps to a JSONL sink.
+	var sink obs.Sink
+	if *traceEvery > 0 {
+		sinkOut := io.Writer(os.Stderr)
+		if *traceOut != "" && *traceOut != "-" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			sinkOut = f
+		}
+		jsonl := obs.NewJSONL(sinkOut)
+		defer jsonl.Flush()
+		sink = jsonl
+	}
+	tracer := obs.NewTracer(*flightRing, *traceEvery, sink)
+	mx := &obs.Metrics{}
+	obs.Publish("unisonsim", mx)
+
+	eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: *seed, Metrics: mx, Trace: tracer})
 	if err != nil {
+		return err
+	}
+	// On any failure (budget exhaustion, no recovery), dump the flight ring
+	// so the last steps before the failure are inspectable.
+	fail := func(err error) error {
+		if derr := tracer.Dump(os.Stderr, err.Error()); derr != nil {
+			return errors.Join(err, derr)
+		}
 		return err
 	}
 	var rec *trace.Recorder
@@ -107,7 +155,7 @@ func run() error {
 				au.ProtectedEdgeCount(g, eng.Config()), g.M())
 		}
 		if eng.Rounds() > budget {
-			return fmt.Errorf("did not stabilize within %d rounds", budget)
+			return fail(fmt.Errorf("did not stabilize within %d rounds", budget))
 		}
 	}
 	fmt.Printf("stabilized after %d rounds: %s\n", eng.Rounds(), eng.Config().String(au))
@@ -127,7 +175,7 @@ func run() error {
 			return au.GraphGood(g, e.Config())
 		}, budget)
 		if err != nil {
-			return fmt.Errorf("no recovery within %d rounds: %w", budget, err)
+			return fail(fmt.Errorf("no recovery within %d rounds: %w", budget, err))
 		}
 		fmt.Printf("recovered after %d rounds: %s\n", rounds, eng.Config().String(au))
 	}
@@ -142,6 +190,13 @@ func run() error {
 			return err
 		}
 		fmt.Printf("wrote %d per-round samples to %s\n", len(rec.Samples()), *csvPath)
+	}
+	if *stats {
+		snap, err := json.Marshal(mx.Snapshot())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("engine metrics: %s\n", snap)
 	}
 	return nil
 }

@@ -34,6 +34,19 @@ func BenchmarkHotPathSteadyStep(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathSteadyStepTraced is the steady step with full telemetry
+// attached — engine counters, a transition-classifying GoodMonitor, the
+// flight-recorder ring, and a sampled JSONL sink every 64th step. It must
+// also report 0 allocs/op: the ring write is a preallocated-slot copy and
+// the sink's amortized encoder cost stays below the rounding threshold.
+// cmd/hotpathbench turns the (SteadyStep, SteadyStepTraced) pair into the
+// obs series of BENCH_hotpath.json and gates it with -obs-gate.
+func BenchmarkHotPathSteadyStepTraced(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		b.Run(fmt.Sprintf("n=%d", n), hotpath.SteadyStepTraced(n))
+	}
+}
+
 func BenchmarkHotPathStabilize(b *testing.B) {
 	for _, n := range []int{1000, 10000} {
 		for _, mode := range []hotpath.Mode{hotpath.Incremental, hotpath.FullScan} {

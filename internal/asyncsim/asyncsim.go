@@ -15,6 +15,7 @@ import (
 	"math/rand"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/randx"
 	"thinunison/internal/sched"
 	"thinunison/internal/syncsim"
@@ -33,6 +34,13 @@ type Engine[S comparable] struct {
 	buf      []S
 	changed  []int // nodes whose state changed in the last step
 	faultBuf []int // reusable permutation buffer for InjectFaults
+
+	// mx is always non-nil (allocated at New; replaceable via Instrument)
+	// so metric updates are unconditional. tracer is attached via Trace.
+	mx       *obs.Metrics
+	tracer   *obs.Tracer
+	coin     *randx.Counting // rng draw counter; nil if unavailable
+	traceErr error           // first sink error of the attached tracer
 }
 
 // New returns an engine with the given initial configuration and scheduler
@@ -49,16 +57,44 @@ func New[S comparable](g *graph.Graph, step syncsim.StepFunc[S], initial []S, s 
 	}
 	states := make([]S, len(initial))
 	copy(states, initial)
+	// The draw-counting wrapper is a Source64 pass-through, so the stream —
+	// and therefore the run — is byte-identical to an unwrapped engine.
+	src := rand.NewSource(seed)
+	var coin *randx.Counting
+	if s64, ok := src.(rand.Source64); ok {
+		coin = randx.NewCounting(s64)
+		src = coin
+	}
 	return &Engine[S]{
 		g:       g,
 		step:    step,
 		sch:     s,
 		states:  states,
 		scratch: make([]S, 0, g.N()),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
 		tracker: sched.NewRoundTracker(g.N()),
+		mx:      &obs.Metrics{},
+		coin:    coin,
 	}, nil
 }
+
+// Instrument replaces the engine's metric set with mx (call before the
+// first Step). The engine always maintains a metric set — Instrument only
+// redirects where the counters land.
+func (e *Engine[S]) Instrument(mx *obs.Metrics) { e.mx = mx }
+
+// Metrics returns the engine's metric set (never nil).
+func (e *Engine[S]) Metrics() *obs.Metrics { return e.mx }
+
+// Trace attaches a sampled step tracer / flight recorder; nil detaches.
+// Sink errors are sticky and reported by TraceErr.
+func (e *Engine[S]) Trace(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (e *Engine[S]) Tracer() *obs.Tracer { return e.tracer }
+
+// TraceErr returns the first sink error hit by the attached tracer.
+func (e *Engine[S]) TraceErr() error { return e.traceErr }
 
 // Graph returns the underlying graph.
 func (e *Engine[S]) Graph() *graph.Graph { return e.g }
@@ -83,6 +119,32 @@ func (e *Engine[S]) Step() {
 	}
 	e.tracker.Observe(activated)
 	e.stepNum++
+	m := e.mx
+	m.Steps.Add(1)
+	m.Rounds.Store(uint64(e.tracker.Rounds()))
+	m.Activated.Add(uint64(len(activated)))
+	m.Evaluated.Add(uint64(len(activated)))
+	m.Changes.Add(uint64(len(e.changed)))
+	if e.coin != nil {
+		if n := e.coin.Take(); n != 0 {
+			m.CoinDraws.Add(n)
+		}
+	}
+	if e.tracer != nil {
+		err := e.tracer.Observe(obs.Sample{
+			Step:        int64(e.stepNum),
+			Round:       int64(e.tracker.Rounds()),
+			Activated:   int64(len(activated)),
+			Evaluated:   int64(len(activated)),
+			Changes:     int64(len(e.changed)),
+			Frontier:    -1,
+			Violations:  -1,
+			ClockSpread: -1,
+		})
+		if err != nil && e.traceErr == nil {
+			e.traceErr = err
+		}
+	}
 }
 
 func (e *Engine[S]) sense(v int) []S {
@@ -160,6 +222,12 @@ func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int
 	for _, v := range hit {
 		e.states[v] = random(e.rng)
 	}
+	e.mx.Faults.Add(uint64(len(hit)))
+	if e.coin != nil {
+		if n := e.coin.Take(); n != 0 {
+			e.mx.CoinDraws.Add(n)
+		}
+	}
 	return hit
 }
 
@@ -176,6 +244,7 @@ func (e *Engine[S]) RunUntil(cond func(e *Engine[S]) bool, maxRounds int) (int, 
 			return e.tracker.Rounds() - start, true
 		}
 	}
+	e.mx.BudgetExhausted.Add(1)
 	return maxRounds, false
 }
 

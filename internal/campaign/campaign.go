@@ -14,9 +14,11 @@ package campaign
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/sched"
 )
 
@@ -187,6 +189,33 @@ func (c ChurnSpec) Name() string {
 	return fmt.Sprintf("churn(period=%d,flips=%d,crash=%d,events=%d)", c.Period, c.Flips, c.Crash, c.Events)
 }
 
+// ObsSpec configures step tracing and flight recording for a scenario's
+// engines. It is sharing-safe: every run builds its own obs.Tracer, so one
+// spec value may be stamped onto all scenarios of a campaign. Tracing is
+// sampled by deterministic step numbers only and therefore never perturbs
+// the run — traced records are byte-identical to untraced ones (minus the
+// engine block, which the Runner strips by default).
+type ObsSpec struct {
+	// TraceEvery emits every TraceEvery-th step sample to Sink; <= 0
+	// disables sink emission (the flight ring still records every step).
+	TraceEvery int
+	// Sink receives sampled steps. It is shared by all concurrently
+	// running scenarios, so it must be safe for concurrent use
+	// (obs.JSONL locks internally; obs.Mem too).
+	Sink obs.Sink
+	// FlightRing is the flight-recorder depth (last-N steps retained);
+	// <= 0 means obs.DefaultRing.
+	FlightRing int
+	// Flight, when set, receives a flight-recorder dump (reason header +
+	// ring JSONL) whenever a run fails — budget exhaustion, monitor-oracle
+	// divergence, failed burst recovery — or, with FlightAlways, after
+	// every run. Dumps are single buffered writes, but writers shared
+	// across Runner workers should still serialize (see obs.LockedWriter).
+	Flight io.Writer
+	// FlightAlways dumps the flight ring after successful runs too.
+	FlightAlways bool
+}
+
 // Scenario is one concrete run: a point of the expanded matrix together with
 // its deterministic seed.
 type Scenario struct {
@@ -235,6 +264,12 @@ type Scenario struct {
 	// -churn-check), not for production sweeps — and never changes record
 	// bytes while the verdicts agree.
 	MonitorOracle bool
+	// Obs, when set, attaches sampled step tracing and flight recording
+	// to the run's engine. Sampling is keyed by step number, so records
+	// (minus the engine block) stay byte-identical with tracing on — the
+	// differential CI modes run with tracing attached to enforce exactly
+	// that.
+	Obs *ObsSpec
 	// intraHint is the runner's idle-capacity suggestion for automatic
 	// intra-run parallelism (workers left over when there are fewer
 	// scenarios than pool workers). It sizes the shard pool but never

@@ -43,9 +43,10 @@ func TestChurnDifferentialAcrossModes(t *testing.T) {
 		a.Frontier, a.Parallelism = -1, 1
 		b := sc
 		b.Frontier, b.Parallelism = 1, 8
-		ra := campaign.Execute(ctx, a)
-		rb := campaign.Execute(ctx, b)
-		ra.WallMS, rb.WallMS = 0, 0
+		// Canonical zeroes wall time and reduces the engine block to its
+		// trajectory counters, which must survive the mode diff.
+		ra := campaign.Execute(ctx, a).Canonical()
+		rb := campaign.Execute(ctx, b).Canonical()
 		ja, err := json.Marshal(&ra)
 		if err != nil {
 			t.Fatal(err)

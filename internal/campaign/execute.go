@@ -13,6 +13,7 @@ import (
 	"thinunison/internal/graph"
 	"thinunison/internal/le"
 	"thinunison/internal/mis"
+	"thinunison/internal/obs"
 	"thinunison/internal/restart"
 	"thinunison/internal/sim"
 	"thinunison/internal/stats"
@@ -73,19 +74,40 @@ func Execute(ctx context.Context, sc Scenario) Record {
 	d, diam := diameterParam(sc, g)
 	rec.D, rec.Diameter = d, diam
 
+	// Engine telemetry: every run gets a metric set (snapshotted into the
+	// record; the Runner strips it unless EngineMetrics) and, when the
+	// scenario carries an ObsSpec, a sampled step tracer / flight recorder.
+	mx := &obs.Metrics{}
+	var tracer *obs.Tracer
+	if o := sc.Obs; o != nil {
+		tracer = obs.NewTracer(o.FlightRing, o.TraceEvery, o.Sink)
+		tracer.Tag = int64(sc.Index)
+	}
+
 	switch sc.Algorithm {
 	case AlgAU:
-		runAU(ctx, sc, g, d, rng, &rec)
+		runAU(ctx, sc, g, d, rng, &rec, mx, tracer)
 	case AlgMIS:
-		runSyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec))
+		runSyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec), mx, tracer)
 	case AlgLE:
-		runSyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec))
+		runSyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec), mx, tracer)
 	case AlgSyncMIS:
-		runAsyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec))
+		runAsyncTask(ctx, sc, g, d, rng, &rec, misTask(d, &rec), mx, tracer)
 	case AlgSyncLE:
-		runAsyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec))
+		runAsyncTask(ctx, sc, g, d, rng, &rec, leTask(d, &rec), mx, tracer)
 	default:
 		rec.fail(fmt.Errorf("campaign: unknown algorithm %q", sc.Algorithm))
+	}
+	snap := mx.Snapshot()
+	rec.Engine = &snap
+	if o := sc.Obs; o != nil && o.Flight != nil && tracer != nil && (o.FlightAlways || !rec.OK) {
+		reason := rec.Err
+		if reason == "" {
+			reason = "ok"
+		}
+		_ = tracer.Dump(o.Flight, fmt.Sprintf(
+			"scenario=%d algorithm=%s family=%s n=%d seed=%d: %s",
+			sc.Index, rec.Algorithm, rec.Family, rec.N, sc.Seed, reason))
 	}
 	rec.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if rec.Budget > 0 {
@@ -160,7 +182,7 @@ func churnDiameterMargin(d int) int { return 2 * d }
 
 // runAU drives AlgAU (the pulse clock itself) under the scenario's scheduler
 // and optional topology churn, then injects and recovers from fault bursts.
-func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record) {
+func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, mx *obs.Metrics, tracer *obs.Tracer) {
 	var churn *sim.ChurnSpec
 	if sc.Churn.active() {
 		d = churnDiameterMargin(d)
@@ -191,6 +213,8 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		Parallelism: sc.intraParallelism(),
 		Frontier:    sc.frontierEnabled(),
 		Churn:       churn,
+		Metrics:     mx,
+		Trace:       tracer,
 	})
 	if err != nil {
 		rec.fail(err)
@@ -207,7 +231,19 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	// (steps and fault injections alike) into the monitor, so the per-step
 	// predicate is O(1) instead of a full O(n·Δ) GraphGood rescan.
 	mon := core.NewGoodMonitor(au, g, eng.Config())
+	mon.Instrument(mx)
 	eng.Observe(mon)
+	if tracer != nil {
+		// Enrichment runs only on sink-sampled steps: BadNodesFast is O(P)
+		// once the monitor has left its deferred regime (-1 before that),
+		// and the clock-spread scan is O(n) but amortized by the sampling
+		// interval.
+		tracer.Enrich = func(s obs.Sample) obs.Sample {
+			s.Violations = int64(mon.BadNodesFast())
+			s.ClockSpread = int64(au.ClockSpread(eng.Config()))
+			return s
+		}
+	}
 	cancelled := false
 	oracleBad := false
 	verdict := mon.Good
@@ -265,7 +301,10 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		return
 	}
 	if err != nil {
-		rec.fail(fmt.Errorf("AU did not stabilize within %d rounds", roundBudget))
+		if errors.Is(err, sim.ErrBudgetExhausted) {
+			err = fmt.Errorf("AU did not stabilize within %d rounds", roundBudget)
+		}
+		rec.fail(err)
 		return
 	}
 	rec.OK = true
@@ -292,7 +331,10 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 			return
 		}
 		if err != nil {
-			rec.fail(fmt.Errorf("AU did not recover from burst %d within %d rounds", burst, roundBudget))
+			if errors.Is(err, sim.ErrBudgetExhausted) {
+				err = fmt.Errorf("AU did not recover from burst %d within %d rounds", burst, roundBudget)
+			}
+			rec.fail(err)
 			return
 		}
 		if !soak() {
@@ -356,7 +398,7 @@ func leTask(d int, rec *Record) task[le.State] {
 
 // runSyncTask drives a synchronous program (plain AlgMIS/AlgLE) under the
 // synchronous schedule.
-func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S]) {
+func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S], mx *obs.Metrics, tracer *obs.Tracer) {
 	if t.step == nil {
 		return // constructor already failed the record
 	}
@@ -374,6 +416,15 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 		return
 	}
 	defer eng.Close()
+	eng.Instrument(mx)
+	eng.Trace(tracer)
+	// Sink errors in the sync engine are sticky, not propagated through the
+	// run loop; surface the first one on the record at exit.
+	defer func() {
+		if err := eng.TraceErr(); err != nil {
+			rec.fail(err)
+		}
+	}()
 	roundBudget := budget.Task(d, g.N())
 	rec.Budget = roundBudget
 
@@ -420,7 +471,7 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 
 // runAsyncTask drives a synchronous program through the Corollary 1.2
 // synchronizer under the scenario's (arbitrary) scheduler.
-func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S]) {
+func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Rand, rec *Record, t task[S], mx *obs.Metrics, tracer *obs.Tracer) {
 	if t.step == nil {
 		return // constructor already failed the record
 	}
@@ -450,6 +501,13 @@ func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph
 		rec.fail(err)
 		return
 	}
+	eng.Instrument(mx)
+	eng.Trace(tracer)
+	defer func() {
+		if err := eng.TraceErr(); err != nil {
+			rec.fail(err)
+		}
+	}()
 	roundBudget := asyncTaskBudget(d, g.N())
 	rec.Budget = roundBudget
 

@@ -14,8 +14,10 @@ func frontierRecordBytes(t *testing.T, sc campaign.Scenario, frontier, paralleli
 	t.Helper()
 	sc.Frontier = frontier
 	sc.Parallelism = parallelism
-	rec := campaign.Execute(context.Background(), sc)
-	rec.WallMS = 0
+	// Canonical keeps the trajectory counters of the engine block in the
+	// diff (they must match across modes too) and strips only the
+	// mode-dependent ones.
+	rec := campaign.Execute(context.Background(), sc).Canonical()
 	var buf bytes.Buffer
 	if err := campaign.AppendJSONL(&buf, rec); err != nil {
 		t.Fatal(err)

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"thinunison/internal/obs"
 )
 
 // Record is the structured outcome of one scenario run. Every field except
@@ -53,10 +55,35 @@ type Record struct {
 	// runner's Timing option is off).
 	WallMS float64 `json:"wall_ms,omitempty"`
 
+	// Engine is the run's engine-telemetry snapshot (obs.Metrics counter
+	// catalog), populated by Execute. The Runner strips it unless its
+	// EngineMetrics option is on: several counters are mode-dependent
+	// (frontier evaluations, shard boundary traffic, coin draws), so
+	// keeping them would break the byte-identity guarantees across
+	// execution modes that the differential suites pin. It never appears
+	// in CSV output.
+	Engine *obs.Snapshot `json:"engine,omitempty"`
+
 	// OK reports whether the run stabilized (and recovered from every fault
 	// burst) within budget; Err carries the failure otherwise.
 	OK  bool   `json:"ok"`
 	Err string `json:"error,omitempty"`
+}
+
+// Canonical returns the record reduced to its byte-comparable form: wall
+// time zeroed and the engine block cut down to its trajectory counters
+// (obs.Snapshot.Trajectory). The differential suites and the cmd/campaign
+// -*-check modes diff this form, so execution modes may differ in how they
+// worked (evaluations, coin draws, shard traffic) but never in what
+// happened — trajectory-counter divergence fails the diff like any other
+// field.
+func (r Record) Canonical() Record {
+	r.WallMS = 0
+	if r.Engine != nil {
+		t := r.Engine.Trajectory()
+		r.Engine = &t
+	}
+	return r
 }
 
 func (r *Record) fail(err error) {

@@ -2,9 +2,14 @@ package campaign
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
+
+	"thinunison/internal/obs"
 )
 
 // Runner executes scenarios on a pool of worker goroutines. The zero value is
@@ -24,6 +29,22 @@ type Runner struct {
 	// soon as it and all its predecessors are done (streaming JSONL export).
 	// It is called from a single goroutine.
 	OnRecord func(Record)
+	// EngineMetrics keeps each record's engine-telemetry block
+	// (Record.Engine). Off by default: several engine counters are
+	// mode-dependent (frontier evaluations, shard boundary traffic, coin
+	// draws), so emitting them would break the byte-identity guarantee
+	// above whenever execution modes differ.
+	EngineMetrics bool
+	// Obs, when set, accumulates every run's engine counters into one
+	// campaign-wide metric set (typically published on /debug/vars). The
+	// aggregate is fed regardless of EngineMetrics and updated as runs
+	// complete, in completion order.
+	Obs *obs.Metrics
+	// Progress, when set, receives a live single-line progress report
+	// (completed/total runs, cumulative guard evaluations, throughput,
+	// ETA), rewritten in place at a throttled rate. Point it at stderr:
+	// it is a side channel and never touches the record stream.
+	Progress io.Writer
 }
 
 // Run executes all scenarios and returns their records sorted by scenario
@@ -94,8 +115,24 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Record, error
 	if len(scenarios) > 0 {
 		next = scenarios[0].Index
 	}
+	meter := newProgressMeter(r.Progress, len(scenarios))
 	out := make([]Record, 0, len(scenarios))
 	for rec := range results {
+		// Telemetry folding happens here, on the single results goroutine,
+		// in completion order: aggregate first, then strip the per-record
+		// engine block unless the caller asked to keep it (its
+		// mode-dependent counters would break record byte-identity).
+		if rec.Engine != nil {
+			if r.Obs != nil {
+				r.Obs.Add(*rec.Engine)
+			}
+			meter.observe(*rec.Engine)
+			if !r.EngineMetrics {
+				rec.Engine = nil
+			}
+		} else {
+			meter.observe(obs.Snapshot{})
+		}
 		pending[rec.Scenario] = rec
 		for {
 			ready, ok := pending[next]
@@ -110,6 +147,7 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Record, error
 			next++
 		}
 	}
+	meter.finish()
 	// On cancellation some scenarios never ran; flush whatever completed
 	// beyond the contiguous prefix, still in index order.
 	if len(pending) > 0 {
@@ -126,6 +164,72 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Record, error
 		}
 	}
 	return out, ctx.Err()
+}
+
+// progressMeter renders the Runner's live progress line: completed/total
+// runs, cumulative guard evaluations (the engines' unit of work), current
+// throughput and a crude ETA. Updates are throttled so a campaign of many
+// short runs does not spend its time repainting a terminal line. Wall time
+// appears only on this side channel, never in records.
+type progressMeter struct {
+	w     io.Writer
+	total int
+	done  int
+	evals uint64
+	start time.Time
+	last  time.Time
+	wrote bool
+}
+
+// progressInterval is the minimum delay between repaints.
+const progressInterval = 200 * time.Millisecond
+
+func newProgressMeter(w io.Writer, total int) *progressMeter {
+	m := &progressMeter{w: w, total: total}
+	if w != nil {
+		m.start = time.Now()
+		m.last = m.start.Add(-progressInterval)
+	}
+	return m
+}
+
+// observe folds one completed run into the meter and repaints if due.
+func (m *progressMeter) observe(s obs.Snapshot) {
+	if m.w == nil {
+		return
+	}
+	m.done++
+	m.evals += s.Evaluated
+	if now := time.Now(); now.Sub(m.last) >= progressInterval {
+		m.last = now
+		m.paint(now)
+	}
+}
+
+// finish forces a final repaint and terminates the progress line.
+func (m *progressMeter) finish() {
+	if m.w == nil || !m.wrote && m.done == 0 {
+		return
+	}
+	m.paint(time.Now())
+	fmt.Fprintln(m.w)
+}
+
+func (m *progressMeter) paint(now time.Time) {
+	elapsed := now.Sub(m.start).Seconds()
+	if elapsed <= 0 {
+		elapsed = 1e-9
+	}
+	eta := "?"
+	if m.done > 0 && m.total > m.done {
+		left := time.Duration(elapsed / float64(m.done) * float64(m.total-m.done) * float64(time.Second))
+		eta = left.Round(time.Second).String()
+	} else if m.done == m.total {
+		eta = "0s"
+	}
+	fmt.Fprintf(m.w, "\rcampaign: %d/%d runs, %.3g evals, %.3g evals/s, eta %s   ",
+		m.done, m.total, float64(m.evals), float64(m.evals)/elapsed, eta)
+	m.wrote = true
 }
 
 // idleShare returns each run's share of the pool capacity left idle by the

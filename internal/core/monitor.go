@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/sa"
 )
 
@@ -157,6 +158,29 @@ type GoodMonitor struct {
 	fnbrs   []int32 // number of faulty neighbors per node
 	bad     []int   // not-good node counts; one slot per shard (one total when unsharded)
 	shardOf []int32 // owner-shard table from AttachShards; nil when unsharded
+
+	mx *obs.Metrics // nil unless Instrument attached a metric set
+}
+
+// Instrument attaches a metric set: the monitor counts its regime
+// promotions (deferred → incremental) and classifies applied transitions by
+// turn shape (AA/AF/FA). Transition classification costs two turn decodes
+// per Apply in the deferred regime — uninstrumented monitors keep the
+// single-store fast path.
+func (m *GoodMonitor) Instrument(mx *obs.Metrics) { m.mx = mx }
+
+// countTransition classifies a turn change by shape into the metric set.
+// Counter updates are atomic, so concurrent interior-shard Apply calls are
+// safe.
+func (m *GoodMonitor) countTransition(oldF, newF bool) {
+	switch {
+	case !oldF && !newF:
+		m.mx.TransAA.Add(1)
+	case !oldF && newF:
+		m.mx.TransAF.Add(1)
+	case oldF && !newF:
+		m.mx.TransFA.Add(1)
+	}
 }
 
 // NewGoodMonitor returns a monitor initialized from cfg. It starts in the
@@ -279,6 +303,12 @@ func (m *GoodMonitor) nodeGoodScan(v int) bool {
 // time.
 func (m *GoodMonitor) Apply(v int, q sa.State) {
 	if m.deferred {
+		if m.mx != nil {
+			was, now := m.au.Turn(m.raw[v]), m.au.Turn(q)
+			if was != now {
+				m.countTransition(was.Faulty, now.Faulty)
+			}
+		}
 		m.raw[v] = q
 		return
 	}
@@ -287,6 +317,9 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 	newL, newF := t.Level, t.Faulty
 	if newL == oldL && newF == oldF {
 		return
+	}
+	if m.mx != nil {
+		m.countTransition(oldF, newF)
 	}
 	vWasGood := m.nodeGood(v)
 	var fdelta int32
@@ -406,6 +439,9 @@ func (m *GoodMonitor) goodDeferred() bool {
 		// between steps, never during a sharded merge).
 		m.promote = false
 		m.deferred = false
+		if m.mx != nil {
+			m.mx.MonitorPromotions.Add(1)
+		}
 		m.decode()
 		m.recount()
 		for _, b := range m.bad {
@@ -468,6 +504,21 @@ func (m *GoodMonitor) BadNodes() int {
 			}
 		}
 		return total
+	}
+	total := 0
+	for _, b := range m.bad {
+		total += b
+	}
+	return total
+}
+
+// BadNodesFast returns the not-good node count when it is cheap — the O(P)
+// per-shard combine of the incremental regime — and -1 in the deferred
+// regime, where an exact count would cost a full rescan. Step tracers use
+// it to enrich sampled snapshots without perturbing the hot path.
+func (m *GoodMonitor) BadNodesFast() int {
+	if m.deferred {
+		return -1
 	}
 	total := 0
 	for _, b := range m.bad {

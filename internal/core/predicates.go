@@ -204,6 +204,47 @@ func (a *AU) FaultyNodeCount(cfg sa.Config) int {
 	return n
 }
 
+// ClockSpread returns the minimal arc length on the clock cycle covering all
+// able nodes' levels (0 = all nodes at one clock position), or -1 if any node
+// is faulty. It is the convergence progress measure sampled by the trace
+// recorder and the campaign step tracer.
+func (a *AU) ClockSpread(cfg sa.Config) int {
+	ls := a.Levels()
+	order := ls.Order()
+	occupied := make([]bool, order)
+	for _, q := range cfg {
+		t := a.Turn(q)
+		if t.Faulty {
+			return -1
+		}
+		occupied[ls.Index(t.Level)] = true
+	}
+	// The spread is order minus the largest empty gap.
+	largestGap, cur := 0, 0
+	for i := 0; i < 2*order; i++ { // doubled scan handles wraparound
+		if occupied[i%order] {
+			if cur > largestGap {
+				largestGap = cur
+			}
+			cur = 0
+			if i >= order {
+				break
+			}
+		} else {
+			cur++
+			if cur >= order {
+				largestGap = order
+				break
+			}
+		}
+	}
+	spread := order - largestGap - 1
+	if spread < 0 {
+		spread = 0
+	}
+	return spread
+}
+
 // SafetyHolds checks the AU safety condition on an output configuration:
 // every node is able and neighboring clock values differ by at most one in
 // the cyclic group K. It returns false if any node is faulty.

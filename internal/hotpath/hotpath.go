@@ -18,12 +18,14 @@ package hotpath
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 	"testing"
 
 	"thinunison/internal/budget"
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/sa"
 	"thinunison/internal/sched"
 	"thinunison/internal/sim"
@@ -92,6 +94,50 @@ func SteadyStep(n int) func(b *testing.B) {
 			b.Fatal(err)
 		}
 		cond := goodCond(Incremental, au, g, eng)
+		if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+			if !cond(eng) {
+				b.Fatal("stabilized instance left the good set")
+			}
+		}
+	}
+}
+
+// SteadyStepTraced measures the fully-instrumented steady step: engine
+// counters are always on (SteadyStep measures them too — they are not
+// optional), and this variant additionally attaches a transition-classifying
+// GoodMonitor, a flight-recorder ring and a sampled JSONL sink emitting
+// every 64th step to io.Discard with monitor enrichment. The
+// (SteadyStep, SteadyStepTraced) pair is the obs series of
+// BENCH_hotpath.json: full tracing must stay 0 allocs/op and within noise
+// of the untraced step (cmd/hotpathbench -obs-gate enforces both).
+func SteadyStepTraced(n int) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mx := &obs.Metrics{}
+		tracer := obs.NewTracer(0, 64, obs.NewJSONL(io.Discard))
+		eng, err := sim.New(g, au, sim.Options{Seed: 2, Metrics: mx, Trace: tracer})
+		if err != nil {
+			b.Fatal(err)
+		}
+		mon := core.NewGoodMonitor(au, g, eng.Config())
+		mon.Instrument(mx)
+		eng.Observe(mon)
+		tracer.Enrich = func(s obs.Sample) obs.Sample {
+			s.Violations = int64(mon.BadNodesFast())
+			return s
+		}
+		cond := func(*sim.Engine) bool { return mon.Good() }
 		if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,63 @@
+package hotpath
+
+import (
+	"io"
+	"testing"
+
+	"thinunison/internal/budget"
+	"thinunison/internal/core"
+	"thinunison/internal/obs"
+	"thinunison/internal/sim"
+)
+
+// TestTracedSteadyStepZeroAllocs pins the zero-allocation property of the
+// telemetry stack at engine scale, layer by layer: counters alone, counters
+// plus the flight-recorder ring, plus a sampled JSONL sink, plus the
+// instrumented transition-classifying monitor. Every layer must keep the
+// stabilized steady step at exactly 0 allocs/op — the same property
+// BenchmarkHotPathSteadyStepTraced reports and cmd/hotpathbench gates with
+// -obs-gate, checked here deterministically so a regression fails plain
+// `go test` instead of only the bench artifact.
+func TestTracedSteadyStepZeroAllocs(t *testing.T) {
+	g, au, err := buildInstance(1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"counters", "ring", "ring+sink", "ring+sink+mon"} {
+		mx := &obs.Metrics{}
+		var tracer *obs.Tracer
+		switch mode {
+		case "ring":
+			tracer = obs.NewTracer(0, 0, nil)
+		case "ring+sink", "ring+sink+mon":
+			tracer = obs.NewTracer(0, 64, obs.NewJSONL(io.Discard))
+		}
+		eng, err := sim.New(g, au, sim.Options{Seed: 2, Metrics: mx, Trace: tracer})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mon := core.NewGoodMonitor(au, g, eng.Config())
+		if mode == "ring+sink+mon" {
+			mon.Instrument(mx)
+		}
+		eng.Observe(mon)
+		cond := func(*sim.Engine) bool { return mon.Good() }
+		if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
+			t.Fatal(err)
+		}
+		avg := testing.AllocsPerRun(128, func() {
+			if err := eng.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if !cond(eng) {
+				t.Fatal("left good set")
+			}
+		})
+		// 128 steps amortize the 1-in-64 sink emissions (two per window)
+		// below AllocsPerRun's truncation threshold; the per-step path
+		// itself must be allocation-free.
+		if avg >= 0.5 {
+			t.Errorf("%s: steady step allocates %.3f allocs/op, want 0", mode, avg)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package obs is the engine observability layer: struct-of-atomics metric
+// sets, a deterministic sampled step tracer with a fixed-size ring buffer
+// (the flight recorder), and a debug HTTP endpoint (expvar + pprof).
+//
+// The package is deliberately a leaf: it depends only on the standard
+// library so every engine layer (core, sim, syncsim, asyncsim, campaign)
+// can import it. Two properties are load-bearing:
+//
+//   - Zero allocations on the hot path. Counter updates are single atomic
+//     adds; ring writes reuse a preallocated slice. The steady-step
+//     0 allocs/op pin holds with counters and the ring tracer enabled
+//     (gated by the obs series in BENCH_hotpath.json).
+//   - Determinism. Sampling is keyed by step number only — never wall
+//     clock, never the rng — so attaching a tracer cannot perturb the
+//     byte-identity differentials (dense vs frontier, P=1 vs P=8, churn).
+package obs
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Metrics is a struct-of-atomics metric set for one engine run (or, when
+// aggregated with Add, a whole campaign). The zero value is ready to use.
+// Engines update it with unconditional atomic adds; sharded paths
+// accumulate per-shard tallies in locals and flush O(P) adds per step.
+//
+// Counters fall into two classes. Trajectory counters are pure functions
+// of the executed trajectory and therefore identical across engine modes
+// that produce byte-identical runs (Steps, Rounds, Activated, Changes,
+// TransAA/AF/FA, ChurnApplied, ChurnSkipped, Faults, MonitorPromotions,
+// BudgetExhausted). Mode counters measure how the engine did the work and
+// legitimately differ between modes: Evaluated, FrontierSkips,
+// FrontierSize and Settled (dense evaluates every activated node and
+// tracks no settlement; frontier skips settled self-loopers), CoinDraws
+// (classic draws one stream, sharded draws per-(step,node) streams),
+// BoundaryApplies and Repartitions (sharded only). Anything derived from
+// Metrics that feeds a byte-compared record must be reduced to the
+// trajectory class first — see Snapshot.Trajectory and
+// campaign.Runner.EngineMetrics.
+type Metrics struct {
+	// Steps counts executed scheduler steps (sync engines: rounds).
+	Steps atomic.Uint64
+	// Rounds is a gauge: completed asynchronous rounds so far.
+	Rounds atomic.Uint64
+	// Activated counts scheduler activations (nodes selected to act).
+	Activated atomic.Uint64
+	// Evaluated counts guard evaluations actually performed. Under
+	// frontier-sparse execution this is Activated minus skipped
+	// settled self-loopers; dense modes evaluate every activation.
+	Evaluated atomic.Uint64
+	// Changes counts state writes that changed a node's value.
+	Changes atomic.Uint64
+	// TransAA/TransAF/TransFA count AlgAU transitions by shape
+	// (able→able, able→faulty, faulty→able), classified by the
+	// instrumented GoodMonitor.
+	TransAA atomic.Uint64
+	TransAF atomic.Uint64
+	TransFA atomic.Uint64
+	// CoinDraws counts pseudo-random draws consumed by schedulers and
+	// algorithms (mode-dependent: sharded runs reseed per-(step,node)
+	// streams and may draw more than the classic single stream).
+	CoinDraws atomic.Uint64
+	// Settled counts frontier settled-promotion events (a node proven
+	// permanently self-looping and excluded from future evaluation).
+	Settled atomic.Uint64
+	// FrontierSkips counts activations skipped as settled self-loopers.
+	FrontierSkips atomic.Uint64
+	// FrontierSize is a gauge: current frontier occupancy (meaningful
+	// only in frontier mode).
+	FrontierSize atomic.Uint64
+	// MonitorPromotions counts GoodMonitor regime switches
+	// (deferred → incremental, on the first good verdict).
+	MonitorPromotions atomic.Uint64
+	// BoundaryApplies counts boundary-node updates merged through the
+	// sharded coordinator (shard boundary traffic).
+	BoundaryApplies atomic.Uint64
+	// Repartitions counts shard-map rebuilds triggered by churn.
+	Repartitions atomic.Uint64
+	// ChurnApplied/ChurnSkipped count topology-churn operations
+	// applied and skipped (guard-rejected).
+	ChurnApplied atomic.Uint64
+	ChurnSkipped atomic.Uint64
+	// Faults counts injected node faults.
+	Faults atomic.Uint64
+	// BudgetExhausted counts RunUntil budget exhaustions.
+	BudgetExhausted atomic.Uint64
+}
+
+// Snapshot is a plain-value copy of a Metrics set, suitable for JSON
+// encoding (campaign records, expvar) and arithmetic.
+type Snapshot struct {
+	Steps             uint64 `json:"steps,omitempty"`
+	Rounds            uint64 `json:"rounds,omitempty"`
+	Activated         uint64 `json:"activated,omitempty"`
+	Evaluated         uint64 `json:"evaluated,omitempty"`
+	Changes           uint64 `json:"changes,omitempty"`
+	TransAA           uint64 `json:"trans_aa,omitempty"`
+	TransAF           uint64 `json:"trans_af,omitempty"`
+	TransFA           uint64 `json:"trans_fa,omitempty"`
+	CoinDraws         uint64 `json:"coin_draws,omitempty"`
+	Settled           uint64 `json:"settled,omitempty"`
+	FrontierSkips     uint64 `json:"frontier_skips,omitempty"`
+	FrontierSize      uint64 `json:"frontier_size,omitempty"`
+	MonitorPromotions uint64 `json:"monitor_promotions,omitempty"`
+	BoundaryApplies   uint64 `json:"boundary_applies,omitempty"`
+	Repartitions      uint64 `json:"repartitions,omitempty"`
+	ChurnApplied      uint64 `json:"churn_applied,omitempty"`
+	ChurnSkipped      uint64 `json:"churn_skipped,omitempty"`
+	Faults            uint64 `json:"faults,omitempty"`
+	BudgetExhausted   uint64 `json:"budget_exhausted,omitempty"`
+}
+
+// Snapshot returns a point-in-time copy of the metric set.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		Steps:             m.Steps.Load(),
+		Rounds:            m.Rounds.Load(),
+		Activated:         m.Activated.Load(),
+		Evaluated:         m.Evaluated.Load(),
+		Changes:           m.Changes.Load(),
+		TransAA:           m.TransAA.Load(),
+		TransAF:           m.TransAF.Load(),
+		TransFA:           m.TransFA.Load(),
+		CoinDraws:         m.CoinDraws.Load(),
+		Settled:           m.Settled.Load(),
+		FrontierSkips:     m.FrontierSkips.Load(),
+		FrontierSize:      m.FrontierSize.Load(),
+		MonitorPromotions: m.MonitorPromotions.Load(),
+		BoundaryApplies:   m.BoundaryApplies.Load(),
+		Repartitions:      m.Repartitions.Load(),
+		ChurnApplied:      m.ChurnApplied.Load(),
+		ChurnSkipped:      m.ChurnSkipped.Load(),
+		Faults:            m.Faults.Load(),
+		BudgetExhausted:   m.BudgetExhausted.Load(),
+	}
+}
+
+// Sub returns the field-wise difference s - prev (counter deltas over an
+// interval). Gauges (Rounds, FrontierSize, ChurnApplied, ChurnSkipped)
+// are subtracted like counters; callers wanting the latest gauge value
+// should read it from the newer snapshot.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	return Snapshot{
+		Steps:             s.Steps - prev.Steps,
+		Rounds:            s.Rounds - prev.Rounds,
+		Activated:         s.Activated - prev.Activated,
+		Evaluated:         s.Evaluated - prev.Evaluated,
+		Changes:           s.Changes - prev.Changes,
+		TransAA:           s.TransAA - prev.TransAA,
+		TransAF:           s.TransAF - prev.TransAF,
+		TransFA:           s.TransFA - prev.TransFA,
+		CoinDraws:         s.CoinDraws - prev.CoinDraws,
+		Settled:           s.Settled - prev.Settled,
+		FrontierSkips:     s.FrontierSkips - prev.FrontierSkips,
+		FrontierSize:      s.FrontierSize - prev.FrontierSize,
+		MonitorPromotions: s.MonitorPromotions - prev.MonitorPromotions,
+		BoundaryApplies:   s.BoundaryApplies - prev.BoundaryApplies,
+		Repartitions:      s.Repartitions - prev.Repartitions,
+		ChurnApplied:      s.ChurnApplied - prev.ChurnApplied,
+		ChurnSkipped:      s.ChurnSkipped - prev.ChurnSkipped,
+		Faults:            s.Faults - prev.Faults,
+		BudgetExhausted:   s.BudgetExhausted - prev.BudgetExhausted,
+	}
+}
+
+// Trajectory returns the snapshot with every mode-dependent counter zeroed,
+// keeping only the counters that are pure functions of the executed
+// trajectory. Differential suites byte-compare this reduction across
+// execution modes (dense vs frontier, classic vs sharded): equal runs must
+// produce equal trajectory counters, while Evaluated, FrontierSkips,
+// FrontierSize, Settled, CoinDraws, BoundaryApplies and Repartitions
+// measure how the mode did the work and are exempt.
+func (s Snapshot) Trajectory() Snapshot {
+	s.Evaluated = 0
+	s.FrontierSkips = 0
+	s.FrontierSize = 0
+	s.Settled = 0
+	s.CoinDraws = 0
+	s.BoundaryApplies = 0
+	s.Repartitions = 0
+	return s
+}
+
+// Add accumulates a snapshot into the metric set. Campaign-level
+// aggregates use this to fold per-run snapshots into a whole-campaign
+// view (gauges become sums; document accordingly).
+func (m *Metrics) Add(s Snapshot) {
+	m.Steps.Add(s.Steps)
+	m.Rounds.Add(s.Rounds)
+	m.Activated.Add(s.Activated)
+	m.Evaluated.Add(s.Evaluated)
+	m.Changes.Add(s.Changes)
+	m.TransAA.Add(s.TransAA)
+	m.TransAF.Add(s.TransAF)
+	m.TransFA.Add(s.TransFA)
+	m.CoinDraws.Add(s.CoinDraws)
+	m.Settled.Add(s.Settled)
+	m.FrontierSkips.Add(s.FrontierSkips)
+	m.FrontierSize.Add(s.FrontierSize)
+	m.MonitorPromotions.Add(s.MonitorPromotions)
+	m.BoundaryApplies.Add(s.BoundaryApplies)
+	m.Repartitions.Add(s.Repartitions)
+	m.ChurnApplied.Add(s.ChurnApplied)
+	m.ChurnSkipped.Add(s.ChurnSkipped)
+	m.Faults.Add(s.Faults)
+	m.BudgetExhausted.Add(s.BudgetExhausted)
+}
+
+// Publish registers the metric set under name in expvar, serving live
+// snapshots on /debug/vars. Publishing the same name twice is a no-op
+// (expvar panics on duplicates; tests and repeated runs must not).
+func Publish(name string, m *Metrics) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return m.Snapshot() }))
+}

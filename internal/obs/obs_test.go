@@ -1,0 +1,301 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"thinunison/internal/obs"
+)
+
+// TestTracerRingWraparound pins the flight-recorder ring semantics: with a
+// ring of depth 4 and 10 observed steps, the tracer retains exactly the last
+// 4 samples in oldest-first order and still reports the lifetime total.
+func TestTracerRingWraparound(t *testing.T) {
+	tr := obs.NewTracer(4, 0, nil)
+	for step := int64(1); step <= 10; step++ {
+		if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := tr.Len(), 4; got != want {
+		t.Fatalf("Len = %d, want %d", got, want)
+	}
+	if got, want := tr.Total(), uint64(10); got != want {
+		t.Fatalf("Total = %d, want %d", got, want)
+	}
+	ring := tr.Ring()
+	for i, want := range []int64{7, 8, 9, 10} {
+		if ring[i].Step != want {
+			t.Errorf("ring[%d].Step = %d, want %d", i, ring[i].Step, want)
+		}
+	}
+}
+
+// TestTracerPartialRing covers the pre-wraparound regime: fewer samples than
+// ring slots must come back in order without phantom zero-value entries.
+func TestTracerPartialRing(t *testing.T) {
+	tr := obs.NewTracer(8, 0, nil)
+	for step := int64(1); step <= 3; step++ {
+		if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring := tr.Ring()
+	if len(ring) != 3 {
+		t.Fatalf("Ring returned %d samples, want 3", len(ring))
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if ring[i].Step != want {
+			t.Errorf("ring[%d].Step = %d, want %d", i, ring[i].Step, want)
+		}
+	}
+}
+
+// TestTracerSamplingAndEnrich pins the sink contract: emission happens only
+// on steps divisible by the sampling interval, every emitted sample carries
+// the tracer's run tag, and the Enrich callback runs exactly once per
+// emitted sample (never on ring-only steps, where its O(n) cost would
+// perturb the hot path).
+func TestTracerSamplingAndEnrich(t *testing.T) {
+	mem := &obs.Mem{}
+	tr := obs.NewTracer(0, 4, mem)
+	tr.Tag = 7
+	enriched := 0
+	tr.Enrich = func(s obs.Sample) obs.Sample {
+		enriched++
+		s.Violations = s.Step * 10
+		return s
+	}
+	for step := int64(1); step <= 12; step++ {
+		if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(mem.Samples) != 3 {
+		t.Fatalf("emitted %d samples, want 3 (steps 4, 8, 12)", len(mem.Samples))
+	}
+	if enriched != 3 {
+		t.Fatalf("Enrich ran %d times, want 3 (sampled steps only)", enriched)
+	}
+	for i, want := range []int64{4, 8, 12} {
+		s := mem.Samples[i]
+		if s.Step != want || s.Run != 7 || s.Violations != want*10 {
+			t.Errorf("sample %d = {Step:%d Run:%d Violations:%d}, want {Step:%d Run:7 Violations:%d}",
+				i, s.Step, s.Run, s.Violations, want, want*10)
+		}
+	}
+}
+
+// TestObserveZeroAllocs is the hot-path pin of the tracing layer: a ring
+// write must not allocate. An earlier revision passed the sample to Enrich
+// by pointer, which made every observed sample escape to the heap — one
+// allocation per engine step — even on runs that never sampled a step. The
+// step-loop pin (counters + monitor + tracer at engine scale) lives in
+// internal/hotpath and BenchmarkHotPathSteadyStepTraced.
+func TestObserveZeroAllocs(t *testing.T) {
+	tr := obs.NewTracer(0, 0, nil)
+	tr.Enrich = func(s obs.Sample) obs.Sample { return s }
+	var step int64
+	avg := testing.AllocsPerRun(1000, func() {
+		step++
+		if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("ring-only Observe allocates %.3f allocs/op, want 0", avg)
+	}
+}
+
+// TestDumpFormat checks the flight dump layout: one JSON header line
+// carrying the reason and counts, followed by the retained samples as
+// JSONL, oldest first.
+func TestDumpFormat(t *testing.T) {
+	tr := obs.NewTracer(4, 0, nil)
+	for step := int64(1); step <= 6; step++ {
+		if err := tr.Observe(obs.Sample{Step: step, Round: step * 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Dump(&buf, "budget exhausted at round 12"); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("dump has %d lines, want 5 (header + 4 samples):\n%s", len(lines), buf.String())
+	}
+	var header struct {
+		Flight  string `json:"flight"`
+		Samples int    `json:"samples"`
+		Total   uint64 `json:"total_steps_observed"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if header.Flight != "budget exhausted at round 12" || header.Samples != 4 || header.Total != 6 {
+		t.Fatalf("header = %+v, want reason/4/6", header)
+	}
+	for i, want := range []int64{3, 4, 5, 6} {
+		var s obs.Sample
+		if err := json.Unmarshal([]byte(lines[i+1]), &s); err != nil {
+			t.Fatalf("sample line %d: %v", i, err)
+		}
+		if s.Step != want {
+			t.Errorf("dump sample %d has step %d, want %d", i, s.Step, want)
+		}
+	}
+}
+
+// TestLockedWriterAtomicDumps pins the concurrency contract between
+// Tracer.Dump (one Write call per dump) and LockedWriter (serialized
+// writes): many goroutines dumping distinct flight recordings into one
+// shared writer must never interleave records. Each dump's header is
+// immediately followed by all of its own samples.
+func TestLockedWriterAtomicDumps(t *testing.T) {
+	var buf bytes.Buffer
+	lw := &obs.LockedWriter{W: &buf}
+	const writers, steps = 8, 16
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(tag int64) {
+			defer wg.Done()
+			tr := obs.NewTracer(steps, 0, nil)
+			tr.Tag = tag
+			for step := int64(1); step <= steps; step++ {
+				if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := tr.Dump(lw, fmt.Sprintf("writer %d failed", tag)); err != nil {
+				t.Error(err)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != writers*(steps+1) {
+		t.Fatalf("flight file has %d lines, want %d", len(lines), writers*(steps+1))
+	}
+	for i := 0; i < len(lines); i += steps + 1 {
+		var header struct {
+			Flight  string `json:"flight"`
+			Samples int    `json:"samples"`
+		}
+		if err := json.Unmarshal([]byte(lines[i]), &header); err != nil {
+			t.Fatalf("line %d is not a dump header: %v", i, err)
+		}
+		var tag int64
+		if _, err := fmt.Sscanf(header.Flight, "writer %d failed", &tag); err != nil {
+			t.Fatalf("header reason %q: %v", header.Flight, err)
+		}
+		for j := 1; j <= steps; j++ {
+			var s obs.Sample
+			if err := json.Unmarshal([]byte(lines[i+j]), &s); err != nil {
+				t.Fatalf("line %d: %v", i+j, err)
+			}
+			if s.Run != tag {
+				t.Fatalf("dump for writer %d interleaved with writer %d at line %d", tag, s.Run, i+j)
+			}
+		}
+	}
+}
+
+// TestJSONLSink checks that the buffered JSONL sink round-trips samples
+// once flushed.
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := obs.NewJSONL(&buf)
+	for step := int64(1); step <= 3; step++ {
+		if err := sink.Emit(obs.Sample{Step: step, Run: 9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("sink wrote %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var s obs.Sample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if s.Step != int64(i+1) || s.Run != 9 {
+			t.Errorf("line %d = {Step:%d Run:%d}, want {Step:%d Run:9}", i, s.Step, s.Run, i+1)
+		}
+	}
+}
+
+// TestSnapshotArithmetic covers the snapshot algebra used by the campaign
+// runner (Add), the progress meter (Sub) and the differential suites
+// (Trajectory).
+func TestSnapshotArithmetic(t *testing.T) {
+	var m obs.Metrics
+	m.Steps.Add(10)
+	m.Activated.Add(40)
+	m.Evaluated.Add(30)
+	m.Changes.Add(5)
+	m.FrontierSkips.Add(10)
+	m.CoinDraws.Add(7)
+	m.Faults.Add(2)
+	a := m.Snapshot()
+
+	m.Steps.Add(5)
+	m.Evaluated.Add(15)
+	b := m.Snapshot()
+	d := b.Sub(a)
+	if d.Steps != 5 || d.Evaluated != 15 || d.Activated != 0 {
+		t.Fatalf("Sub delta = %+v, want Steps:5 Evaluated:15 Activated:0", d)
+	}
+
+	var agg obs.Metrics
+	agg.Add(a)
+	agg.Add(d)
+	if got := agg.Snapshot(); got != b {
+		t.Fatalf("Add(a)+Add(b-a) = %+v, want %+v", got, b)
+	}
+
+	traj := b.Trajectory()
+	if traj.Evaluated != 0 || traj.FrontierSkips != 0 || traj.CoinDraws != 0 {
+		t.Fatalf("Trajectory kept mode counters: %+v", traj)
+	}
+	if traj.Steps != b.Steps || traj.Activated != b.Activated ||
+		traj.Changes != b.Changes || traj.Faults != b.Faults {
+		t.Fatalf("Trajectory altered trajectory counters: %+v vs %+v", traj, b)
+	}
+}
+
+// TestPublishIdempotent checks that republishing the same expvar name is a
+// no-op instead of the expvar duplicate panic (repeated campaign runs in one
+// process, tests).
+func TestPublishIdempotent(t *testing.T) {
+	var m obs.Metrics
+	obs.Publish("obs_test_metrics", &m)
+	obs.Publish("obs_test_metrics", &m) // must not panic
+}
+
+// TestRoundGate pins the round-edge detector shared by the trace recorders:
+// fire on every newly seen round (including round 0), never twice for the
+// same round.
+func TestRoundGate(t *testing.T) {
+	g := obs.NewRoundGate()
+	fires := []struct {
+		round int
+		want  bool
+	}{{0, true}, {0, false}, {0, false}, {1, true}, {1, false}, {2, true}, {2, false}, {3, true}}
+	for i, f := range fires {
+		if got := g.Due(f.round); got != f.want {
+			t.Fatalf("poll %d: Due(%d) = %v, want %v", i, f.round, got, f.want)
+		}
+	}
+}

@@ -57,6 +57,42 @@ func (s *Seq) Uint64() uint64 {
 // Int63 implements rand.Source.
 func (s *Seq) Int63() int64 { return int64(s.Uint64() >> 1) }
 
+// Counting wraps a rand.Source64 and counts draws. It is a pass-through —
+// wrapping a source changes nothing about the produced stream, so counted
+// engines stay byte-identical to uncounted ones — and the count lives in a
+// plain (non-atomic) field: each engine goroutine owns its own Counting and
+// the coordinator drains them with Take once per step, turning per-draw
+// bookkeeping into an O(P) flush.
+type Counting struct {
+	src rand.Source64
+	n   uint64
+}
+
+// NewCounting returns a counting wrapper around src.
+func NewCounting(src rand.Source64) *Counting { return &Counting{src: src} }
+
+// Uint64 implements rand.Source64.
+func (c *Counting) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+// Int63 implements rand.Source.
+func (c *Counting) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+// Seed implements rand.Source.
+func (c *Counting) Seed(seed int64) { c.src.Seed(seed) }
+
+// Take returns the number of draws since the last Take and resets it.
+func (c *Counting) Take() uint64 {
+	n := c.n
+	c.n = 0
+	return n
+}
+
 // PartialShuffle maintains *buf as a permutation of 0..n-1 and runs the
 // first count swaps of a Fisher–Yates pass over it, returning the count
 // distinct elements now at the front. count is clamped to [0, n].

@@ -8,6 +8,7 @@ import (
 
 	"thinunison/internal/campaign"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 )
 
 // differentialScenarios spans graph families × schedulers × fault models ×
@@ -45,8 +46,9 @@ func differentialScenarios() []campaign.Scenario {
 func recordBytes(t *testing.T, sc campaign.Scenario, parallelism int) []byte {
 	t.Helper()
 	sc.Parallelism = parallelism
-	rec := campaign.Execute(context.Background(), sc)
-	rec.WallMS = 0
+	// Canonical also reduces the engine block to its trajectory counters,
+	// which must agree across parallelism like every other record field.
+	rec := campaign.Execute(context.Background(), sc).Canonical()
 	var buf bytes.Buffer
 	if err := campaign.AppendJSONL(&buf, rec); err != nil {
 		t.Fatal(err)
@@ -94,6 +96,44 @@ func TestDifferentialAUClassicParity(t *testing.T) {
 				sc.Index, sc.Family, sc.Scheduler.Name(), classic, sharded)
 		}
 	}
+}
+
+// TestShardTrajectoryCounterAggregation pins the telemetry side of the
+// sharded differential: worker-local counter tallies flushed through the
+// coordinator must aggregate to exactly the single-worker totals for every
+// trajectory counter. The byte-identity tests above already compare the
+// canonical engine block, but they would pass vacuously if Execute stopped
+// populating it — this test asserts the counters are present and non-trivial.
+func TestShardTrajectoryCounterAggregation(t *testing.T) {
+	for _, sc := range differentialScenarios() {
+		ref := execAt(t, sc, 1)
+		for _, p := range []int{2, 8} {
+			got := execAt(t, sc, p)
+			if ref.Trajectory() != got.Trajectory() {
+				t.Errorf("scenario %d (%s/%s/%s): P=%d trajectory counters diverged from P=1:\nP=1: %+v\nP=%d: %+v",
+					sc.Index, sc.Family, sc.Algorithm, sc.Scheduler.Name(), p, ref.Trajectory(), p, got.Trajectory())
+			}
+		}
+		if ref.Steps == 0 || ref.Activated == 0 || ref.Changes == 0 {
+			t.Errorf("scenario %d (%s/%s/%s): engine counters are trivial: %+v",
+				sc.Index, sc.Family, sc.Algorithm, sc.Scheduler.Name(), ref)
+		}
+	}
+}
+
+// execAt executes sc at the given forced parallelism and returns the raw
+// (unreduced) engine counter snapshot from its record.
+func execAt(t *testing.T, sc campaign.Scenario, parallelism int) obs.Snapshot {
+	t.Helper()
+	sc.Parallelism = parallelism
+	rec := campaign.Execute(context.Background(), sc)
+	if !rec.OK {
+		t.Fatalf("scenario %d failed at P=%d: %s", sc.Index, parallelism, rec.Err)
+	}
+	if rec.Engine == nil {
+		t.Fatalf("scenario %d at P=%d has no engine block", sc.Index, parallelism)
+	}
+	return *rec.Engine
 }
 
 // TestRunnerAutoShardingDeterminism checks the run-level/intra-run

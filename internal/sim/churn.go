@@ -291,10 +291,15 @@ func (e *Engine) applyChurn() error {
 		}
 		cr.events++
 	}
+	// Gauges, not adds: delta.Applied and skipped are already cumulative.
+	e.mx.ChurnSkipped.Store(uint64(cr.skipped))
 	if cr.delta.Pending() == 0 {
 		return nil
 	}
 	_, err := e.ApplyDelta(cr.delta)
+	if err == nil {
+		e.mx.ChurnApplied.Store(uint64(cr.delta.Applied()))
+	}
 	return err
 }
 
@@ -378,6 +383,7 @@ func (pr *parRuntime) rewire(e *Engine, touched []int) {
 	if !rebuilt {
 		return
 	}
+	e.mx.Repartitions.Add(1)
 	pr.part = next
 	if e.fr != nil {
 		e.fr.set = e.fr.set.Rebuild(next.Starts(), next.ShardIndex())

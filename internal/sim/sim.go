@@ -39,6 +39,7 @@ import (
 
 	"thinunison/internal/frontier"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/randx"
 	"thinunison/internal/sa"
 	"thinunison/internal/sched"
@@ -110,6 +111,19 @@ type Engine struct {
 	par   *parRuntime      // sharded-execution runtime; nil in classic mode
 	fr    *frontierRuntime // frontier-sparse runtime; nil in dense mode
 	churn *churnRuntime    // topology-churn driver; nil when Options.Churn is off
+
+	// mx is the engine's metric set — always non-nil (allocated at New when
+	// Options.Metrics is nil) so every update site is an unconditional
+	// branch-free atomic add. tracer is nil unless Options.Trace attached one.
+	mx     *obs.Metrics
+	tracer *obs.Tracer
+	coin   *randx.Counting // classic-mode rng draw counter; nil if unavailable
+
+	// stepAct/stepEval/stepChg are the current step's tallies, filled by the
+	// step bodies and flushed into mx (and the tracer sample) once per step.
+	stepAct  int
+	stepEval int
+	stepChg  int
 }
 
 // frontierRuntime holds the frontier-sparse execution state of an engine:
@@ -140,12 +154,21 @@ type parRuntime struct {
 	pool *shard.Pool
 	seed int64
 
-	acts    [][]int      // per-shard activation views for the current step
-	actBufs [][]int      // backing buffers for acts when bucketing is needed
-	res     [][]sa.State // per-shard staged next states, aligned with acts
-	seqs    []*randx.Seq // per-worker reseedable coin-toss sources
-	rngs    []*rand.Rand // per-worker rand.Rand over seqs
-	sigs    []sa.Signal  // per-worker signal scratch
+	acts    [][]int           // per-shard activation views for the current step
+	actBufs [][]int           // backing buffers for acts when bucketing is needed
+	res     [][]sa.State      // per-shard staged next states, aligned with acts
+	seqs    []*randx.Seq      // per-worker reseedable coin-toss sources
+	coins   []*randx.Counting // per-worker draw counters wrapping seqs
+	rngs    []*rand.Rand      // per-worker rand.Rand over the counted seqs
+	sigs    []sa.Signal       // per-worker signal scratch
+
+	// chg and stl are per-shard tallies (changes applied by applyInterior,
+	// settle-promotions certified by stage). Each slot is written by one
+	// worker during its phase and summed by the coordinator after the pool
+	// phase completes — the pool's channel handoffs order the accesses — so
+	// counter aggregation costs O(P) adds per step, not per-node atomics.
+	chg []uint64
+	stl []uint64
 
 	shObs ShardedObserver // obs, when it supports concurrent interior delivery
 
@@ -213,6 +236,19 @@ type Options struct {
 	// implement sa.SelfLooper.
 	Frontier bool
 
+	// Metrics, when non-nil, receives the engine's counters (see obs.Metrics
+	// for the catalog). When nil the engine allocates a private set —
+	// counters are always maintained, so instrumented and uninstrumented
+	// runs execute identical code — reachable via Engine.Metrics.
+	Metrics *obs.Metrics
+
+	// Trace attaches a sampled step tracer / flight recorder. After every
+	// step the engine feeds it a cheap snapshot (activation, evaluation and
+	// change counts, frontier occupancy); the tracer's ring write is
+	// allocation-free and its sink sampling is keyed by step number only,
+	// so traced runs stay byte-identical to untraced ones in every mode.
+	Trace *obs.Tracer
+
 	// Churn enables mid-run topology churn: the spec's scripted events and
 	// stochastic edge flips are applied at step boundaries through
 	// ApplyDelta, so every incremental layer (frontier, observer counters,
@@ -233,7 +269,16 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 	if s == nil {
 		s = sched.NewSynchronous()
 	}
-	rng := rand.New(rand.NewSource(opts.Seed))
+	// Count rng draws by wrapping the source; the wrapper is a pass-through
+	// (and still a Source64), so the produced stream — and therefore the
+	// run — is byte-identical to an unwrapped engine.
+	src := rand.NewSource(opts.Seed)
+	var coin *randx.Counting
+	if s64, ok := src.(rand.Source64); ok {
+		coin = randx.NewCounting(s64)
+		src = coin
+	}
+	rng := rand.New(src)
 	cfg := opts.Initial
 	if cfg == nil {
 		cfg = sa.Random(g.N(), alg.NumStates(), rng)
@@ -257,6 +302,12 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		scratch: make(sa.Config, 0, g.N()),
 		signal:  sa.NewSignal(alg.NumStates()),
 		tracker: sched.NewRoundTracker(g.N()),
+		mx:      opts.Metrics,
+		tracer:  opts.Trace,
+		coin:    coin,
+	}
+	if e.mx == nil {
+		e.mx = &obs.Metrics{}
 	}
 	if opts.Frontier {
 		if lp, ok := alg.(sa.SelfLooper); ok {
@@ -277,12 +328,16 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 			actBufs: make([][]int, p),
 			res:     make([][]sa.State, p),
 			seqs:    make([]*randx.Seq, p),
+			coins:   make([]*randx.Counting, p),
 			rngs:    make([]*rand.Rand, p),
 			sigs:    make([]sa.Signal, p),
+			chg:     make([]uint64, p),
+			stl:     make([]uint64, p),
 		}
 		for i := 0; i < p; i++ {
 			pr.seqs[i] = &randx.Seq{}
-			pr.rngs[i] = rand.New(pr.seqs[i])
+			pr.coins[i] = randx.NewCounting(pr.seqs[i])
+			pr.rngs[i] = rand.New(pr.coins[i])
 			pr.sigs[i] = sa.NewSignal(alg.NumStates())
 		}
 		// The worker bodies read e.step and the staged buffers directly;
@@ -293,6 +348,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 			res := pr.res[s][:0]
 			rng, seq := pr.rngs[s], pr.seqs[s]
 			sig := &pr.sigs[s]
+			var settles uint64
 			if fr := e.fr; fr != nil {
 				for _, v := range acts {
 					seq.Reseed(randx.NodeSeed(pr.seed, e.step, v))
@@ -305,6 +361,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 						// neighbor happens in a later phase, so sets always
 						// win over clears.
 						fr.set.Remove(v)
+						settles++
 					}
 				}
 			} else {
@@ -315,15 +372,18 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 				}
 			}
 			pr.res[s] = res
+			pr.stl[s] = settles
 		}
 		pr.applyInterior = func(s int) {
 			fr := e.fr
+			var changes uint64
 			for i, v := range pr.acts[s] {
 				if !pr.part.Interior(v) {
 					continue
 				}
 				if q := pr.res[s][i]; q != e.cfg[v] {
 					e.cfg[v] = q
+					changes++
 					if fr != nil {
 						// An interior node's whole neighborhood lives in its
 						// owner shard, so these dirty bits never race.
@@ -334,6 +394,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 					}
 				}
 			}
+			pr.chg[s] = changes
 		}
 		e.par = pr
 	}
@@ -458,6 +519,8 @@ func (e *Engine) InjectFaults(count int) []int {
 			e.obs.Apply(v, e.cfg[v])
 		}
 	}
+	e.mx.Faults.Add(uint64(len(hit)))
+	e.flushCoins()
 	return hit
 }
 
@@ -478,10 +541,12 @@ func (e *Engine) Step() error {
 			return fmt.Errorf("sim: churn at step %d: %w", e.step, err)
 		}
 	}
+	e.stepChg = 0
 	if e.fr != nil {
 		e.stepFrontier()
 	} else {
 		activated := canonActivations(e.sched.Activations(e.step, e.g.N()), &e.actBuf)
+		e.stepAct, e.stepEval = len(activated), len(activated)
 		if e.par != nil {
 			e.stepSharded(activated)
 		} else {
@@ -491,6 +556,9 @@ func (e *Engine) Step() error {
 		e.lastActivated = activated
 	}
 	e.step++
+	if err := e.flushStats(); err != nil {
+		return err
+	}
 	for _, h := range e.hooks {
 		if err := h(e); err != nil {
 			return fmt.Errorf("sim: hook at step %d: %w", e.step, err)
@@ -498,6 +566,67 @@ func (e *Engine) Step() error {
 	}
 	return nil
 }
+
+// flushStats folds the completed step's tallies into the metric set and, if
+// a tracer is attached, records the step sample. It runs once per step: the
+// hot path pays a handful of atomic adds plus one allocation-free ring
+// write, independent of n.
+func (e *Engine) flushStats() error {
+	m := e.mx
+	m.Steps.Add(1)
+	m.Rounds.Store(uint64(e.tracker.Rounds()))
+	m.Activated.Add(uint64(e.stepAct))
+	m.Evaluated.Add(uint64(e.stepEval))
+	m.Changes.Add(uint64(e.stepChg))
+	if skip := e.stepAct - e.stepEval; skip > 0 {
+		m.FrontierSkips.Add(uint64(skip))
+	}
+	frLen := int64(-1)
+	if e.fr != nil {
+		frLen = int64(e.fr.set.Len())
+		m.FrontierSize.Store(uint64(frLen))
+	}
+	e.flushCoins()
+	if e.tracer != nil {
+		s := obs.Sample{
+			Step:        int64(e.step),
+			Round:       int64(e.tracker.Rounds()),
+			Activated:   int64(e.stepAct),
+			Evaluated:   int64(e.stepEval),
+			Changes:     int64(e.stepChg),
+			Frontier:    frLen,
+			Violations:  -1,
+			ClockSpread: -1,
+		}
+		if err := e.tracer.Observe(s); err != nil {
+			return fmt.Errorf("sim: trace at step %d: %w", e.step, err)
+		}
+	}
+	return nil
+}
+
+// flushCoins drains the rng draw counters (the classic stream plus every
+// sharded worker stream) into the CoinDraws counter: O(P) per flush.
+func (e *Engine) flushCoins() {
+	if e.coin != nil {
+		if n := e.coin.Take(); n != 0 {
+			e.mx.CoinDraws.Add(n)
+		}
+	}
+	if e.par != nil {
+		for _, c := range e.par.coins {
+			if n := c.Take(); n != 0 {
+				e.mx.CoinDraws.Add(n)
+			}
+		}
+	}
+}
+
+// Metrics returns the engine's metric set (never nil).
+func (e *Engine) Metrics() *obs.Metrics { return e.mx }
+
+// Tracer returns the attached step tracer, or nil.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // stepFrontier is the frontier-sparse step body: the scheduler's activation
 // set is intersected with the dirty frontier — via the scheduler's
@@ -519,13 +648,16 @@ func (e *Engine) stepFrontier() {
 			e.tracker.ObserveFull()
 			fr.lastFull = true
 			e.lastActivated = nil
+			e.stepAct = n
 		case cov.AllBut >= 0:
 			e.tracker.ObserveAllBut(cov.AllBut)
 			fr.lastAllBut = cov.AllBut
 			e.lastActivated = nil
+			e.stepAct = n - 1
 		default:
 			e.tracker.Observe(cov.List)
 			e.lastActivated = cov.List
+			e.stepAct = len(cov.List)
 		}
 	} else {
 		activated := canonActivations(e.sched.Activations(e.step, n), &e.actBuf)
@@ -539,7 +671,9 @@ func (e *Engine) stepFrontier() {
 		eval = buf
 		e.tracker.Observe(activated)
 		e.lastActivated = activated
+		e.stepAct = len(activated)
 	}
+	e.stepEval = len(eval)
 	if e.par != nil {
 		e.stepShardedFrontier(eval)
 	} else {
@@ -553,6 +687,7 @@ func (e *Engine) stepFrontier() {
 func (e *Engine) stepSequentialFrontier(eval []int) {
 	fr := e.fr
 	e.scratch = e.scratch[:0]
+	var settles uint64
 	for _, v := range eval {
 		e.SignalOf(v, &e.signal)
 		q, settled := fr.evalNode(e, v, &e.signal, e.rng)
@@ -561,7 +696,11 @@ func (e *Engine) stepSequentialFrontier(eval []int) {
 			// Clears happen strictly before the apply loop's invalidation
 			// sets, so a neighbor changing in this same step re-dirties v.
 			fr.set.Remove(v)
+			settles++
 		}
+	}
+	if settles != 0 {
+		e.mx.Settled.Add(settles)
 	}
 	for i, v := range eval {
 		q := e.scratch[i]
@@ -569,6 +708,7 @@ func (e *Engine) stepSequentialFrontier(eval []int) {
 			continue
 		}
 		e.cfg[v] = q
+		e.stepChg++
 		fr.invalidate(e.g, v)
 		if e.obs != nil {
 			e.obs.Apply(v, q)
@@ -605,6 +745,7 @@ func (e *Engine) stepShardedFrontier(eval []int) {
 	}
 
 	pr.pool.Run(pr.stage)
+	e.sumSettles()
 
 	if e.obs != nil && pr.shObs == nil {
 		// Order-sensitive observer: sequential canonical merge (shards
@@ -613,6 +754,7 @@ func (e *Engine) stepShardedFrontier(eval []int) {
 			for i, v := range pr.acts[s] {
 				if q := pr.res[s][i]; q != e.cfg[v] {
 					e.cfg[v] = q
+					e.stepChg++
 					fr.invalidate(e.g, v)
 					e.obs.Apply(v, q)
 				}
@@ -622,6 +764,8 @@ func (e *Engine) stepShardedFrontier(eval []int) {
 	}
 
 	pr.pool.Run(pr.applyInterior)
+	e.sumInteriorChanges()
+	var boundary uint64
 	for s := 0; s < p; s++ {
 		for i, v := range pr.acts[s] {
 			if pr.part.Interior(v) {
@@ -629,6 +773,8 @@ func (e *Engine) stepShardedFrontier(eval []int) {
 			}
 			if q := pr.res[s][i]; q != e.cfg[v] {
 				e.cfg[v] = q
+				e.stepChg++
+				boundary++
 				fr.invalidate(e.g, v)
 				if e.obs != nil {
 					e.obs.Apply(v, q)
@@ -636,6 +782,31 @@ func (e *Engine) stepShardedFrontier(eval []int) {
 			}
 		}
 	}
+	if boundary != 0 {
+		e.mx.BoundaryApplies.Add(boundary)
+	}
+}
+
+// sumSettles folds the per-shard settle tallies written by the stage phase
+// into the Settled counter (O(P)).
+func (e *Engine) sumSettles() {
+	var stl uint64
+	for _, n := range e.par.stl {
+		stl += n
+	}
+	if stl != 0 {
+		e.mx.Settled.Add(stl)
+	}
+}
+
+// sumInteriorChanges folds the per-shard change tallies written by the
+// applyInterior phase into the step's change count (O(P)).
+func (e *Engine) sumInteriorChanges() {
+	var chg uint64
+	for _, n := range e.par.chg {
+		chg += n
+	}
+	e.stepChg += int(chg)
 }
 
 // canonActivations returns the activation set in canonical form: strictly
@@ -686,6 +857,7 @@ func (e *Engine) stepSequential(activated []int) {
 			continue
 		}
 		e.cfg[v] = q
+		e.stepChg++
 		if e.obs != nil {
 			e.obs.Apply(v, q)
 		}
@@ -734,6 +906,7 @@ func (e *Engine) stepSharded(activated []int) {
 			for i, v := range pr.acts[s] {
 				if q := pr.res[s][i]; q != e.cfg[v] {
 					e.cfg[v] = q
+					e.stepChg++
 					e.obs.Apply(v, q)
 				}
 			}
@@ -742,6 +915,8 @@ func (e *Engine) stepSharded(activated []int) {
 	}
 
 	pr.pool.Run(pr.applyInterior)
+	e.sumInteriorChanges()
+	var boundary uint64
 	for s := 0; s < p; s++ {
 		for i, v := range pr.acts[s] {
 			if pr.part.Interior(v) {
@@ -749,11 +924,16 @@ func (e *Engine) stepSharded(activated []int) {
 			}
 			if q := pr.res[s][i]; q != e.cfg[v] {
 				e.cfg[v] = q
+				e.stepChg++
+				boundary++
 				if e.obs != nil {
 					e.obs.Apply(v, q)
 				}
 			}
 		}
+	}
+	if boundary != 0 {
+		e.mx.BoundaryApplies.Add(boundary)
 	}
 }
 
@@ -834,6 +1014,7 @@ func (e *Engine) RunUntil(cond func(e *Engine) bool, maxRounds int) (int, error)
 			return e.tracker.Rounds() - start, nil
 		}
 	}
+	e.mx.BudgetExhausted.Add(1)
 	return e.tracker.Rounds() - start, ErrBudgetExhausted
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"thinunison/internal/frontier"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/randx"
 	"thinunison/internal/shard"
 )
@@ -54,6 +55,13 @@ type Engine[S comparable] struct {
 
 	par *parRuntime[S]    // sharded-execution runtime; nil in classic mode
 	fr  *frontierState[S] // frontier-sparse runtime; nil in dense mode
+
+	// mx is always non-nil (allocated at New; replaceable via Instrument)
+	// so metric updates are unconditional. tracer is attached via Trace.
+	mx       *obs.Metrics
+	tracer   *obs.Tracer
+	coin     *randx.Counting // classic-mode rng draw counter; nil if unavailable
+	traceErr error           // first sink error of the attached tracer
 }
 
 // frontierState holds the frontier-sparse execution state of an engine: the
@@ -70,6 +78,11 @@ type frontierState[S comparable] struct {
 	dirtyS   [][]int
 	nextS    [][]S
 	changedS [][]int
+	// evalS/stlS are per-shard evaluation and settle-promotion tallies,
+	// written by each shard's worker during stage and summed by the
+	// coordinator after the phase (O(P) counter aggregation per round).
+	evalS []uint64
+	stlS  []uint64
 
 	// stage and applyInterior are the per-phase worker bodies, built once so
 	// the steady round loop allocates no closures.
@@ -83,10 +96,11 @@ type parRuntime[S comparable] struct {
 	part    *shard.Partition
 	pool    *shard.Pool
 	seed    int64
-	seqs    []*randx.Seq // per-worker reseedable coin-toss sources
-	rngs    []*rand.Rand // per-worker rand.Rand over seqs
-	bufs    [][]S        // per-worker sense scratch
-	changed [][]int      // per-shard changed nodes of the last round
+	seqs    []*randx.Seq      // per-worker reseedable coin-toss sources
+	coins   []*randx.Counting // per-worker draw counters wrapping seqs
+	rngs    []*rand.Rand      // per-worker rand.Rand over the counted seqs
+	bufs    [][]S             // per-worker sense scratch
+	changed [][]int           // per-shard changed nodes of the last round
 
 	// churnAccum is the accumulated topology-churn weight since the last
 	// (re)partition; see ApplyDelta.
@@ -107,14 +121,42 @@ func New[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64
 	}
 	states := make([]S, len(initial))
 	copy(states, initial)
+	// The draw-counting wrapper is a Source64 pass-through, so the stream —
+	// and therefore the run — is byte-identical to an unwrapped engine.
+	src := rand.NewSource(seed)
+	var coin *randx.Counting
+	if s64, ok := src.(rand.Source64); ok {
+		coin = randx.NewCounting(s64)
+		src = coin
+	}
 	return &Engine[S]{
 		g:      g,
 		step:   step,
 		states: states,
 		next:   make([]S, len(initial)),
-		rng:    rand.New(rand.NewSource(seed)),
+		rng:    rand.New(src),
+		mx:     &obs.Metrics{},
+		coin:   coin,
 	}, nil
 }
+
+// Instrument replaces the engine's metric set with mx (call before the
+// first Round). The engine always maintains a metric set — Instrument only
+// redirects where the counters land, e.g. into a campaign-owned set.
+func (e *Engine[S]) Instrument(mx *obs.Metrics) { e.mx = mx }
+
+// Metrics returns the engine's metric set (never nil).
+func (e *Engine[S]) Metrics() *obs.Metrics { return e.mx }
+
+// Trace attaches a sampled step tracer / flight recorder; nil detaches.
+// Sink errors are sticky and reported by TraceErr.
+func (e *Engine[S]) Trace(t *obs.Tracer) { e.tracer = t }
+
+// Tracer returns the attached tracer, or nil.
+func (e *Engine[S]) Tracer() *obs.Tracer { return e.tracer }
+
+// TraceErr returns the first sink error hit by the attached tracer.
+func (e *Engine[S]) TraceErr() error { return e.traceErr }
 
 // NewParallel returns a sharded engine: the graph is partitioned into
 // parallelism contiguous node shards (clamped to the node count) and every
@@ -145,9 +187,11 @@ func NewParallel[S comparable](g *graph.Graph, step StepFunc[S], initial []S, se
 		bufs:    make([][]S, p),
 		changed: make([][]int, p),
 	}
+	pr.coins = make([]*randx.Counting, p)
 	for i := 0; i < p; i++ {
 		pr.seqs[i] = &randx.Seq{}
-		pr.rngs[i] = rand.New(pr.seqs[i])
+		pr.coins[i] = randx.NewCounting(pr.seqs[i])
+		pr.rngs[i] = rand.New(pr.coins[i])
 	}
 	// The worker body reads e.round, e.states and e.next directly; all are
 	// written only by the coordinator between pool phases, and the pool's
@@ -206,6 +250,8 @@ func (e *Engine[S]) EnableFrontier(settled func(self S, sensed []S) bool) {
 	fr.dirtyS = make([][]int, p)
 	fr.nextS = make([][]S, p)
 	fr.changedS = make([][]int, p)
+	fr.evalS = make([]uint64, p)
+	fr.stlS = make([]uint64, p)
 	// Stage: each worker evaluates its own shard's slice of the frontier
 	// against the immutable current configuration, settle-clearing its own
 	// bits (invalidation happens in later phases, so sets win over clears)
@@ -216,6 +262,7 @@ func (e *Engine[S]) EnableFrontier(settled func(self S, sensed []S) bool) {
 		next := fr.nextS[s][:0]
 		ch := fr.changedS[s][:0]
 		rng, seq := pr.rngs[s], pr.seqs[s]
+		var settles uint64
 		for _, v := range fr.dirtyS[s] {
 			seq.Reseed(randx.NodeSeed(pr.seed, e.round, v))
 			sensed := e.senseInto(&pr.bufs[s], v)
@@ -225,10 +272,13 @@ func (e *Engine[S]) EnableFrontier(settled func(self S, sensed []S) bool) {
 				ch = append(ch, v)
 			} else if fr.settled(e.states[v], sensed) {
 				fr.set.Remove(v)
+				settles++
 			}
 		}
 		fr.nextS[s] = next
 		fr.changedS[s] = ch
+		fr.evalS[s] = uint64(len(fr.dirtyS[s]))
+		fr.stlS[s] = settles
 	}
 	// Apply interior changes concurrently: an interior node's whole
 	// neighborhood lives in its owner shard, so the in-place state write and
@@ -285,6 +335,7 @@ func (e *Engine[S]) ApplyDelta(d *graph.Delta) ([]int, error) {
 	if pr := e.par; pr != nil {
 		next, rebuilt := pr.part.RewireAfterChurn(&pr.churnAccum, touched)
 		if rebuilt {
+			e.mx.Repartitions.Add(1)
 			pr.part = next
 			if e.fr != nil {
 				e.fr.set = e.fr.set.Rebuild(next.Starts(), next.ShardIndex())
@@ -338,6 +389,59 @@ func (e *Engine[S]) Round() {
 	}
 	e.states, e.next = e.next, e.states
 	e.round++
+	e.flushRound(e.g.N(), e.g.N(), len(e.changed))
+}
+
+// flushRound folds one completed round's tallies into the metric set and,
+// if a tracer is attached, records the round sample (one allocation-free
+// ring write; sink errors are sticky in traceErr).
+func (e *Engine[S]) flushRound(act, eval, chg int) {
+	m := e.mx
+	m.Steps.Add(1)
+	m.Rounds.Store(uint64(e.round))
+	m.Activated.Add(uint64(act))
+	m.Evaluated.Add(uint64(eval))
+	m.Changes.Add(uint64(chg))
+	if skip := act - eval; skip > 0 {
+		m.FrontierSkips.Add(uint64(skip))
+	}
+	frLen := int64(-1)
+	if e.fr != nil {
+		frLen = int64(e.fr.set.Len())
+		m.FrontierSize.Store(uint64(frLen))
+	}
+	e.flushCoins()
+	if e.tracer != nil {
+		err := e.tracer.Observe(obs.Sample{
+			Step:        int64(e.round),
+			Round:       int64(e.round),
+			Activated:   int64(act),
+			Evaluated:   int64(eval),
+			Changes:     int64(chg),
+			Frontier:    frLen,
+			Violations:  -1,
+			ClockSpread: -1,
+		})
+		if err != nil && e.traceErr == nil {
+			e.traceErr = err
+		}
+	}
+}
+
+// flushCoins drains the rng draw counters into CoinDraws (O(P)).
+func (e *Engine[S]) flushCoins() {
+	if e.coin != nil {
+		if n := e.coin.Take(); n != 0 {
+			e.mx.CoinDraws.Add(n)
+		}
+	}
+	if e.par != nil {
+		for _, c := range e.par.coins {
+			if n := c.Take(); n != 0 {
+				e.mx.CoinDraws.Add(n)
+			}
+		}
+	}
 }
 
 // roundFrontier is the frontier-sparse round body: only unsettled nodes are
@@ -349,7 +453,10 @@ func (e *Engine[S]) roundFrontier() {
 		e.par.pool.Run(fr.stage)
 		e.par.pool.Run(fr.applyInterior)
 		e.changed = e.changed[:0]
+		var eval, settles uint64
 		for s := 0; s < e.par.part.P(); s++ {
+			eval += fr.evalS[s]
+			settles += fr.stlS[s]
 			for i, v := range fr.dirtyS[s] {
 				if e.par.part.Interior(v) {
 					continue
@@ -361,18 +468,27 @@ func (e *Engine[S]) roundFrontier() {
 			}
 			e.changed = append(e.changed, fr.changedS[s]...)
 		}
+		if settles != 0 {
+			e.mx.Settled.Add(settles)
+		}
 		e.round++
+		e.flushRound(e.g.N(), int(eval), len(e.changed))
 		return
 	}
 	fr.dirty = fr.set.AppendTo(fr.dirty[:0])
 	fr.next = fr.next[:0]
+	var settles uint64
 	for _, v := range fr.dirty {
 		sensed := e.sense(v)
 		nx := e.step(e.states[v], sensed, e.rng)
 		fr.next = append(fr.next, nx)
 		if nx == e.states[v] && fr.settled(e.states[v], sensed) {
 			fr.set.Remove(v)
+			settles++
 		}
+	}
+	if settles != 0 {
+		e.mx.Settled.Add(settles)
 	}
 	e.changed = e.changed[:0]
 	for i, v := range fr.dirty {
@@ -383,6 +499,7 @@ func (e *Engine[S]) roundFrontier() {
 		}
 	}
 	e.round++
+	e.flushRound(e.g.N(), len(fr.dirty), len(e.changed))
 }
 
 // roundSharded is the sharded round body: workers write disjoint ranges of
@@ -399,6 +516,7 @@ func (e *Engine[S]) roundSharded() {
 		e.changed = append(e.changed, ch...)
 	}
 	e.round++
+	e.flushRound(e.g.N(), e.g.N(), len(e.changed))
 }
 
 // sense returns the deduplicated state set of N+(v).
@@ -448,6 +566,8 @@ func (e *Engine[S]) InjectFaults(count int, random func(rng *rand.Rand) S) []int
 			e.invalidate(v)
 		}
 	}
+	e.mx.Faults.Add(uint64(len(hit)))
+	e.flushCoins()
 	return hit
 }
 
@@ -493,6 +613,7 @@ func (e *Engine[S]) RunUntil(cond func(e *Engine[S]) bool, maxRounds int) (int, 
 			return e.round - start, true
 		}
 	}
+	e.mx.BudgetExhausted.Add(1)
 	return maxRounds, false
 }
 

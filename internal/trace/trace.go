@@ -1,7 +1,11 @@
-// Package trace records per-round metrics of AlgAU executions — faulty-node
-// counts, protected-edge counts, clock spread, transition-type counts — and
-// exports them as CSV for plotting. It is the observability layer behind
-// cmd/unisonsim's -csv flag and the convergence plots in EXPERIMENTS.md.
+// Package trace records per-round summary series of algorithm executions
+// and exports them as CSV for plotting. Recorder covers AlgAU (faulty-node
+// counts, protected-edge counts, clock spread, transition-type counts);
+// TaskRecorder covers the procedural tasks (AlgMIS, AlgLE) with per-round
+// local-stability, restart and output-weight series, so all three
+// algorithms of the paper produce per-round series. Round-edge detection is
+// shared with the engine-level samplers through obs.RoundGate; step-grained
+// engine telemetry lives in internal/obs.
 package trace
 
 import (
@@ -12,6 +16,7 @@ import (
 
 	"thinunison/internal/core"
 	"thinunison/internal/graph"
+	"thinunison/internal/obs"
 	"thinunison/internal/sa"
 	"thinunison/internal/sim"
 )
@@ -38,19 +43,19 @@ type Recorder struct {
 	au *core.AU
 	g  *graph.Graph
 
-	samples   []Sample
-	lastRound int
-	prevCfg   sa.Config
-	pending   map[core.TransitionType]int
+	samples []Sample
+	gate    *obs.RoundGate
+	prevCfg sa.Config
+	pending map[core.TransitionType]int
 }
 
 // NewRecorder returns a recorder for au on g.
 func NewRecorder(au *core.AU, g *graph.Graph) *Recorder {
 	return &Recorder{
-		au:        au,
-		g:         g,
-		lastRound: -1,
-		pending:   make(map[core.TransitionType]int),
+		au:      au,
+		g:       g,
+		gate:    obs.NewRoundGate(),
+		pending: make(map[core.TransitionType]int),
 	}
 }
 
@@ -92,10 +97,9 @@ func (r *Recorder) observe(e *sim.Engine) {
 	}
 	r.prevCfg = cfg.Clone()
 
-	if e.Rounds() == r.lastRound {
+	if !r.gate.Due(e.Rounds()) {
 		return
 	}
-	r.lastRound = e.Rounds()
 
 	s := Sample{
 		Round:          e.Rounds(),
@@ -103,7 +107,7 @@ func (r *Recorder) observe(e *sim.Engine) {
 		FaultyNodes:    r.au.FaultyNodeCount(cfg),
 		ProtectedEdges: r.au.ProtectedEdgeCount(r.g, cfg),
 		Good:           r.au.GraphGood(r.g, cfg),
-		ClockSpread:    r.clockSpread(cfg),
+		ClockSpread:    r.au.ClockSpread(cfg),
 		Transitions:    r.pending,
 	}
 	for v := 0; v < r.g.N(); v++ {
@@ -113,45 +117,6 @@ func (r *Recorder) observe(e *sim.Engine) {
 	}
 	r.pending = make(map[core.TransitionType]int)
 	r.samples = append(r.samples, s)
-}
-
-// clockSpread returns the minimal arc length on the clock cycle covering all
-// able nodes' levels, or -1 if any node is faulty.
-func (r *Recorder) clockSpread(cfg sa.Config) int {
-	ls := r.au.Levels()
-	order := ls.Order()
-	occupied := make([]bool, order)
-	for _, q := range cfg {
-		t := r.au.Turn(q)
-		if t.Faulty {
-			return -1
-		}
-		occupied[ls.Index(t.Level)] = true
-	}
-	// The spread is order minus the largest empty gap.
-	largestGap, cur := 0, 0
-	for i := 0; i < 2*order; i++ { // doubled scan handles wraparound
-		if occupied[i%order] {
-			if cur > largestGap {
-				largestGap = cur
-			}
-			cur = 0
-			if i >= order {
-				break
-			}
-		} else {
-			cur++
-			if cur >= order {
-				largestGap = order
-				break
-			}
-		}
-	}
-	spread := order - largestGap - 1
-	if spread < 0 {
-		spread = 0
-	}
-	return spread
 }
 
 // Samples returns the recorded samples.
