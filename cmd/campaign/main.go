@@ -20,7 +20,9 @@
 // from the P=1 record of the same seed. AU scenarios run frontier-sparse by
 // default (settled nodes are skipped until their neighborhood changes);
 // -frontier forces the mode on or off, and -frontier-check runs the preset
-// as a dense-vs-frontier divergence guard.
+// as a dense-vs-frontier divergence guard. -word opts AU scenarios into
+// word-parallel (bit-planed batch) transition evaluation, and -plane-check
+// runs the preset as a scalar-vs-word divergence guard.
 //
 // Observability (see internal/obs): -progress paints a live throughput line
 // on stderr, -metrics keeps each record's engine-counter block, -debug-addr
@@ -111,6 +113,18 @@ func frontierCheck(scenarios []campaign.Scenario) int {
 		func(sc *campaign.Scenario) { sc.Frontier = 1 })
 }
 
+// planeCheck is the word-parallel differential guard: forced scalar and
+// word-parallel execution must agree byte for byte (at whatever parallelism
+// and frontier mode the scenarios carry — combine with -parallelism and
+// -frontier to pin them). Scenarios whose algorithm offers no word kernel
+// fall back to scalar on both sides, so the pair degenerates to a replay
+// check there.
+func planeCheck(scenarios []campaign.Scenario) int {
+	return divergenceCheck(scenarios, "plane-check", "scalar", "word",
+		func(sc *campaign.Scenario) { sc.WordParallel = false },
+		func(sc *campaign.Scenario) { sc.WordParallel = true })
+}
+
 // churnCheck is the topology-churn differential guard: every scenario runs
 // once dense on the classic sequential engine (P=1 sharded semantics) and
 // once frontier-sparse sharded at P=8, with the GoodMonitor full-scan
@@ -147,6 +161,8 @@ func run() int {
 		check   = flag.Bool("shard-check", false, "divergence guard: run every scenario sharded at P=1 and P=8 and fail if any record differs, instead of a normal campaign")
 		fcheck  = flag.Bool("frontier-check", false, "divergence guard: run every scenario dense and frontier-sparse and fail if any record differs, instead of a normal campaign")
 		ccheck  = flag.Bool("churn-check", false, "churn differential guard: run every scenario dense-P1 and frontier-P8 with the GoodMonitor full-scan oracle and fail on any divergence, instead of a normal campaign (pair with -preset bio-churn)")
+		pcheck  = flag.Bool("plane-check", false, "word-parallel differential guard: run every scenario scalar and word-parallel and fail if any record differs, instead of a normal campaign")
+		word    = flag.Bool("word", false, "force word-parallel (bit-planed batch) AU execution; falls back to scalar when the algorithm offers no word kernel (records are identical either way)")
 
 		metrics    = flag.Bool("metrics", false, "keep each record's engine-telemetry block (mode-dependent counters; breaks byte-for-byte comparability across execution modes)")
 		progress   = flag.Bool("progress", false, "live progress line on stderr (done/total, evals/s, ETA); never touches the JSONL stream")
@@ -213,6 +229,7 @@ func run() int {
 	for i := range scenarios {
 		scenarios[i].Parallelism = *par
 		scenarios[i].Frontier = *front
+		scenarios[i].WordParallel = *word
 		scenarios[i].Obs = obsSpec
 	}
 
@@ -224,6 +241,9 @@ func run() int {
 	}
 	if *ccheck {
 		return churnCheck(scenarios)
+	}
+	if *pcheck {
+		return planeCheck(scenarios)
 	}
 
 	var jsonl io.Writer = os.Stdout

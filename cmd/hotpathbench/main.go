@@ -9,7 +9,10 @@
 // the quiescent speedup regresses below the given ratio), and the obs series
 // (steady step untraced vs fully traced — counters, instrumented monitor,
 // flight ring, sampled sink; -obs-gate fails the run if tracing allocates or
-// exceeds the given overhead ratio).
+// exceeds the given overhead ratio), and the word series (dense steady step
+// with scalar per-node transitions vs bit-planed batch evaluation;
+// -plane-gate fails the run if the word path allocates or its speedup at the
+// largest measured n falls below the given ratio).
 //
 // Regenerate the committed artifact with
 //
@@ -70,6 +73,22 @@ type frontierPoint struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// wordPoint is one scalar/word pair of the word-parallel series: the dense
+// steady step with per-node scalar transitions vs bit-planed batch
+// evaluation (CSR OR-scan + fused EvalGood pass + certified batched monitor
+// apply). The runs are byte-identical in results (the engine differential
+// suite and cmd/campaign -plane-check enforce it), so the ratio isolates
+// the word-parallel win; -plane-gate pins it and the word side's
+// 0 allocs/op.
+type wordPoint struct {
+	Scenario   string  `json:"scenario"`
+	N          int     `json:"n"`
+	ScalarNs   float64 `json:"scalar_ns_per_op"`
+	WordNs     float64 `json:"word_ns_per_op"`
+	Speedup    float64 `json:"speedup"`
+	WordAllocs int64   `json:"word_allocs_per_op"`
+}
+
 // obsPoint is one off/on pair of the observability series: the steady step
 // with engine counters only (they are always on and part of the baseline)
 // vs the fully traced step — instrumented GoodMonitor, flight-recorder ring,
@@ -102,6 +121,9 @@ type artifact struct {
 	// ObsSeries is the telemetry-overhead series: steady step untraced vs
 	// fully traced (see obsPoint).
 	ObsSeries []obsPoint `json:"obs_series"`
+	// WordSeries is the word-parallel series: dense steady step with scalar
+	// per-node transitions vs bit-planed batch evaluation (see wordPoint).
+	WordSeries []wordPoint `json:"word_series"`
 }
 
 func measure(name string, n, iters int, fn func(b *testing.B)) entry {
@@ -130,6 +152,7 @@ func main() {
 	big := flag.Bool("big", false, "extend the shard-scaling series to a 10^6-node instance")
 	gate := flag.Float64("frontier-gate", 0, "fail (exit 1) if the quiescent-steady-step frontier speedup at the largest measured n falls below this ratio (0 disables); CI uses 10 to catch a regression back to Θ(n) steps")
 	obsGate := flag.Float64("obs-gate", 0, "fail (exit 1) if full tracing allocates on the steady step, or slows the largest measured n down by more than this ratio (0 disables); CI uses 1.5")
+	planeGate := flag.Float64("plane-gate", 0, "fail (exit 1) if word-parallel execution allocates on the dense steady step, or its speedup over scalar at the largest measured n falls below this ratio (0 disables); CI uses 3")
 	testing.Init()
 	flag.Parse()
 
@@ -263,6 +286,34 @@ func main() {
 		return hotpath.FrontierRecovery(10000, faults, front)
 	})
 
+	// Word-parallel series: the dense steady step (every node fires its
+	// unison clock every step — the worst case for sparse execution and the
+	// best case for batch evaluation) with scalar per-node transitions vs
+	// bit-planed word evaluation. The pairs walk byte-identical trajectories
+	// (engine differentials and cmd/campaign -plane-check enforce it), so
+	// the ratio is the pure word-parallel win.
+	wordPair := func(n, iters int) wordPoint {
+		scalar := measure(hotpath.WordName("dense-steady-step", n, false), n, iters, hotpath.WordSteadyStep(n, false))
+		word := measure(hotpath.WordName("dense-steady-step", n, true), n, iters, hotpath.WordSteadyStep(n, true))
+		a.Benchmarks = append(a.Benchmarks, scalar, word)
+		wp := wordPoint{
+			Scenario:   "dense-steady-step",
+			N:          n,
+			ScalarNs:   scalar.NsPerOp,
+			WordNs:     word.NsPerOp,
+			Speedup:    scalar.NsPerOp / word.NsPerOp,
+			WordAllocs: word.AllocsPerOp,
+		}
+		a.WordSeries = append(a.WordSeries, wp)
+		return wp
+	}
+	wordIters := 100
+	if *quick {
+		wordIters = 30
+	}
+	wordPair(10000, wordIters*5)
+	wordHeadline := wordPair(100000, wordIters)
+
 	// Churn series: one crash → drift → revive topology-churn cycle per op.
 	churnPair := func(n, iters int) {
 		dense := measure(hotpath.FrontierName("churn-recovery", n, false), n, iters, hotpath.ChurnRecovery(n, false))
@@ -311,6 +362,23 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "obs gate OK: tracing allocation-free, steady-step/n=%d ratio %.2fx <= %.2fx\n",
 			last.N, last.Ratio, *obsGate)
+	}
+
+	if *planeGate > 0 {
+		for _, p := range a.WordSeries {
+			if p.WordAllocs > 0 {
+				fmt.Fprintf(os.Stderr, "plane gate FAILED: %s/n=%d word path allocates %d allocs/op (word-parallel steps must stay allocation-free)\n",
+					p.Scenario, p.N, p.WordAllocs)
+				os.Exit(1)
+			}
+		}
+		if wordHeadline.Speedup < *planeGate {
+			fmt.Fprintf(os.Stderr, "plane gate FAILED: %s/n=%d word/scalar speedup %.2fx < required %.2fx\n",
+				wordHeadline.Scenario, wordHeadline.N, wordHeadline.Speedup, *planeGate)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "plane gate OK: word path allocation-free, %s/n=%d speedup %.2fx >= %.2fx\n",
+			wordHeadline.Scenario, wordHeadline.N, wordHeadline.Speedup, *planeGate)
 	}
 
 	f, err := os.Create(*out)

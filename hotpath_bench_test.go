@@ -97,6 +97,20 @@ func BenchmarkHotPathFrontierRecovery(b *testing.B) {
 	}
 }
 
+// BenchmarkHotPathWordSteadyStep is the in-tree slice of the word-parallel
+// series (the full n=10^5 pair lives in cmd/hotpathbench): the dense steady
+// step with and without bit-planed batch evaluation. The word variant
+// replaces the per-node sense/transition loop with a CSR OR-scan plus one
+// fused EvalGood pass and answers the stabilization check from the cached
+// word verdict; both sides must report 0 allocs/op, and cmd/hotpathbench
+// -plane-gate enforces the word/scalar speedup at n=10^5.
+func BenchmarkHotPathWordSteadyStep(b *testing.B) {
+	const n = 10000
+	for _, word := range []bool{false, true} {
+		b.Run(hotpath.WordName("steady", n, word), hotpath.WordSteadyStep(n, word))
+	}
+}
+
 // BenchmarkHotPathChurnRecovery is the in-tree slice of the churn series
 // (the full n=10^4 pair lives in cmd/hotpathbench): one crash → drift →
 // revive topology-churn cycle per op, recovery wave localized around the

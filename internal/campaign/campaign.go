@@ -257,6 +257,15 @@ type Scenario struct {
 	// (round-robin, laggard) skip settled nodes wholesale instead of
 	// re-deriving Θ(n) no-op transitions per step.
 	Frontier int
+	// WordParallel, when set, asks the AU engines for bit-planed batch
+	// transition evaluation (see sim.Options.WordParallel). Word-parallel
+	// runs are byte-identical to scalar runs for equal seeds — enforced by
+	// the engine differential suite and by cmd/campaign -plane-check — so
+	// the knob never changes record bytes, only wall time. Default off:
+	// committed campaign records predate the word path and must stay
+	// stable. The engine silently falls back to scalar execution when the
+	// algorithm offers no word kernel (coin-driven variants, |Q| > 64).
+	WordParallel bool
 	// MonitorOracle, when set, cross-checks the incremental GoodMonitor
 	// verdict against the full-scan GraphGood oracle at every stabilization
 	// poll, failing the record on divergence. It costs O(n·Δ) per step —

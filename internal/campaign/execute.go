@@ -208,13 +208,14 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		return
 	}
 	eng, err := sim.New(g, au, sim.Options{
-		Scheduler:   scheduler,
-		Seed:        rng.Int63(),
-		Parallelism: sc.intraParallelism(),
-		Frontier:    sc.frontierEnabled(),
-		Churn:       churn,
-		Metrics:     mx,
-		Trace:       tracer,
+		Scheduler:    scheduler,
+		Seed:         rng.Int63(),
+		Parallelism:  sc.intraParallelism(),
+		Frontier:     sc.frontierEnabled(),
+		WordParallel: sc.WordParallel,
+		Churn:        churn,
+		Metrics:      mx,
+		Trace:        tracer,
 	})
 	if err != nil {
 		rec.fail(err)

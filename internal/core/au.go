@@ -61,13 +61,16 @@ type AU struct {
 	d       int
 	ls      Levels
 	variant Variant   // zero value = the paper's algorithm; see variant.go
-	pool    sync.Pool // *view scratch buffers, so Transition is allocation-free
+	pool    sync.Pool // *tscratch buffers, so the wide Classify path is allocation-free
+	tab     *auTable  // precompiled Table 1 masks; see table.go
+	kern    *wordEval // sa.WordEval over tab, nil when |Q| > 64
 }
 
 var (
 	_ sa.Algorithm  = (*AU)(nil)
 	_ sa.Namer      = (*AU)(nil)
 	_ sa.SelfLooper = (*AU)(nil)
+	_ sa.WordKernel = (*AU)(nil)
 )
 
 // NewAU returns AlgAU for diameter bound D >= 1, i.e. k = 3D + 2.
@@ -80,8 +83,18 @@ func NewAU(d int) (*AU, error) {
 		return nil, err
 	}
 	a := &AU{d: d, ls: ls}
-	a.pool.New = func() any { return new(view) }
+	a.finish()
 	return a, nil
+}
+
+// finish precompiles the transition table (and, when the state space fits in
+// a machine word, the word kernel) for a constructed instance.
+func (a *AU) finish() {
+	a.pool.New = func() any { return new(tscratch) }
+	a.tab = buildAUTable(a)
+	if a.tab.single {
+		a.kern = &wordEval{t: a.tab}
+	}
 }
 
 // D returns the diameter bound the instance was built for.
@@ -157,125 +170,45 @@ func (a *AU) ClockOrder() int { return a.ls.Order() }
 // StateName implements sa.Namer.
 func (a *AU) StateName(q sa.State) string { return a.Turn(q).String() }
 
-// view is the decoded sensing information AlgAU's conditions are phrased in.
-type view struct {
-	// levelSensed[Index(ℓ)] reports whether any turn of level ℓ is sensed.
-	levelSensed []bool
-	// faultySensed[Index(ℓ)] reports whether the faulty turn ℓ̂ is sensed.
-	faultySensed []bool
-	anyFaulty    bool
-}
-
-func (a *AU) decode(sig sa.Signal, v *view) {
-	n := a.ls.Order()
-	if cap(v.levelSensed) < n {
-		v.levelSensed = make([]bool, n)
-		v.faultySensed = make([]bool, n)
-	}
-	v.levelSensed = v.levelSensed[:n]
-	v.faultySensed = v.faultySensed[:n]
-	for i := range v.levelSensed {
-		v.levelSensed[i] = false
-		v.faultySensed[i] = false
-	}
-	v.anyFaulty = false
-	for q := 0; q < a.NumStates(); q++ {
-		if !sig.Has(q) {
-			continue
-		}
-		t := a.Turn(q)
-		idx := a.ls.Index(t.Level)
-		v.levelSensed[idx] = true
-		if t.Faulty {
-			v.faultySensed[idx] = true
-			v.anyFaulty = true
-		}
-	}
-}
-
 // Classify returns the transition type that a node in state q senses-and-fires
 // under sig, together with the successor state. It is the pure decision
 // procedure behind Transition and is exported so that tests can check Table 1
 // conformance exhaustively.
+//
+// Classify is a table lookup: every Table 1 condition — protection, the
+// AF inward-faulty sense, the AA Λ ⊆ {ℓ, φ(ℓ)} subset test, the FA outward
+// guard (with the EagerFA/DisableFaultPropagation ablations folded in at
+// construction) — is a precompiled mask test against the signal words
+// (table.go). When the state space fits in one machine word the whole
+// classification runs scratch-free on the single-word rows; wider instances
+// take the pooled stride-word path.
 func (a *AU) Classify(q sa.State, sig sa.Signal) (TransitionType, sa.State) {
-	v, ok := a.pool.Get().(*view)
-	if !ok {
-		v = new(view)
+	if a.tab.single {
+		return a.tab.classifyWord(q, sig.Words()[0])
 	}
-	a.decode(sig, v)
-	typ, next := a.classify(q, v)
-	a.pool.Put(v)
+	s, ok := a.pool.Get().(*tscratch)
+	if !ok {
+		s = new(tscratch)
+	}
+	typ, next := a.tab.classifySig(q, sig, s)
+	a.pool.Put(s)
 	return typ, next
 }
 
-func (a *AU) classify(q sa.State, v *view) (TransitionType, sa.State) {
-	t := a.Turn(q)
-	l := t.Level
-
-	if t.Faulty {
-		// FA: complete the detour one unit inwards iff no sensed level is
-		// strictly outwards of ℓ (Λ ∩ Ψ>(ℓ) = ∅). The EagerFA ablation
-		// weakens this to Λ ∩ Ψ≫(ℓ) = ∅, skipping the ψ+1 check.
-		start := int(abs(l)) + 1
-		if a.variant.EagerFA {
-			start++
-		}
-		for j := start; j <= a.ls.k; j++ {
-			out, _ := a.Psi(l, j-int(abs(l)))
-			if v.levelSensed[a.ls.Index(out)] {
-				return None, q
-			}
-		}
-		in, _ := a.Psi(l, -1)
-		return FA, a.ls.Index(in)
+// Kernel implements sa.WordKernel: the batch word evaluator over the
+// precompiled table, or nil when |Q| > 64 and signals do not fit in a
+// machine word (engines then silently stay on the scalar path).
+func (a *AU) Kernel() sa.WordEval {
+	if a.kern == nil {
+		return nil
 	}
+	return a.kern
+}
 
-	// Able turn. Check protection: every sensed level must be adjacent to ℓ.
-	protected := true
-	for i, sensed := range v.levelSensed {
-		if sensed && !a.ls.Adjacent(l, a.ls.FromIndex(i)) {
-			protected = false
-			break
-		}
-	}
-
-	// AF (only defined for 2 ≤ |ℓ| ≤ k): the node is not protected, or it
-	// senses the faulty turn one unit inwards of its own level. The
-	// DisableFaultPropagation ablation drops the second condition.
-	if abs(l) >= 2 {
-		sensesInwardsFaulty := false
-		if in, ok := a.Psi(l, -1); ok && abs(in) >= 2 && !a.variant.DisableFaultPropagation {
-			sensesInwardsFaulty = v.faultySensed[a.ls.Index(in)]
-		}
-		if !protected || sensesInwardsFaulty {
-			fq, err := a.State(Turn{Level: l, Faulty: true})
-			if err != nil { // unreachable: |ℓ| ≥ 2 checked above
-				return None, q
-			}
-			return AF, fq
-		}
-	}
-
-	// AA: the node is good (protected and senses no faulty turn) and every
-	// sensed level is ℓ or φ(ℓ).
-	if protected && !v.anyFaulty {
-		next := a.ls.Phi(l)
-		ok := true
-		for i, sensed := range v.levelSensed {
-			if !sensed {
-				continue
-			}
-			m := a.ls.FromIndex(i)
-			if m != l && m != next {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			return AA, a.ls.Index(next)
-		}
-	}
-	return None, q
+// WordEval returns the concrete word evaluator (nil when |Q| > 64); the
+// in-package monitors use it for word-parallel good-node passes.
+func (a *AU) WordEval() *wordEval {
+	return a.kern
 }
 
 // Psi exposes the outwards operator of the instance's level algebra.

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
@@ -159,6 +160,23 @@ type GoodMonitor struct {
 	bad     []int   // not-good node counts; one slot per shard (one total when unsharded)
 	shardOf []int32 // owner-shard table from AttachShards; nil when unsharded
 
+	// wordOK caches a word-parallel engine's per-step goodness verdict (see
+	// NoteWordStep): true asserts the current configuration is graph-good,
+	// letting Good() answer O(1) without touching counters or scanning.
+	// Every Apply / RewireEdge / Reset clears it (atomically — sharded
+	// engines deliver interior Applies concurrently); scalar engines never
+	// set it, so the flag is dead weight of one uncontended store there.
+	wordOK atomic.Bool
+
+	// stale marks the incremental counters out of date after a batched word
+	// apply (ApplyWordBatch): on the certified steady path the monitor takes
+	// the whole step's changes as one raw-mirror pass and skips the O(deg)
+	// per-node goodness bookkeeping — the word verdict answers Good() — so
+	// the counters lag until the next scalar touch resyncs them. Only
+	// sequential engines batch (sharded merges keep per-node Applies), so
+	// stale is coordinator-private and needs no atomicity.
+	stale bool
+
 	mx *obs.Metrics // nil unless Instrument attached a metric set
 }
 
@@ -203,6 +221,75 @@ func NewGoodMonitor(au *AU, g *graph.Graph, cfg sa.Config) *GoodMonitor {
 	return m
 }
 
+// NoteWordStep implements sim.WordVerdictObserver: a word-parallel engine
+// reports, after each step's applies, whether its fused goodness plane
+// certified the configuration graph-good (certified == true asserts every
+// node is good post-step; false asserts nothing). The verdict is cached so
+// Good() answers O(1) on the certified steady path — fed by the kernel's
+// popcount-style plane instead of counters or scans — and any later Apply,
+// RewireEdge or Reset clears the cache, falling back to the regular regimes.
+// A certified verdict agrees with GraphGood by construction, so verdict
+// sequences (and hence the promotion step, a trajectory-pinned counter) are
+// identical to scalar runs.
+func (m *GoodMonitor) NoteWordStep(certified bool) {
+	m.wordOK.Store(certified)
+}
+
+// ApplyWordBatch implements sim.WordBatchObserver: a word-parallel engine
+// delivers a certified step's changed nodes as one batch — cfg is the
+// engine's post-step configuration — instead of per-node Apply calls. The
+// pre-apply configuration was graph-good and complete, so by the closure
+// property the post-step one is too; the monitor therefore only refreshes
+// its raw mirror and classifies the transitions (by the same turn-shape rule
+// as Apply, aggregated into three atomic adds), deferring the counter
+// bookkeeping: the incremental counters go stale and resync lazily on the
+// next scalar touch. Transition totals, verdicts and the promotion step stay
+// byte-identical to a scalar run feeding the same changes through Apply.
+func (m *GoodMonitor) ApplyWordBatch(changed []int, cfg sa.Config) {
+	if m.mx != nil {
+		// Faulty turns occupy the dense suffix 2k..4k−3, so the turn-shape
+		// classification of countTransition reduces to two threshold tests.
+		order := 2 * m.au.ls.k
+		var aa, af, fa uint64
+		for _, v := range changed {
+			oldF, newF := m.raw[v] >= order, cfg[v] >= order
+			switch {
+			case !oldF && !newF:
+				aa++
+			case !oldF:
+				af++
+			case !newF:
+				fa++
+			}
+			m.raw[v] = cfg[v]
+		}
+		if aa != 0 {
+			m.mx.TransAA.Add(aa)
+		}
+		if af != 0 {
+			m.mx.TransAF.Add(af)
+		}
+		if fa != 0 {
+			m.mx.TransFA.Add(fa)
+		}
+	} else {
+		for _, v := range changed {
+			m.raw[v] = cfg[v]
+		}
+	}
+	if !m.deferred {
+		m.stale = true
+	}
+}
+
+// resync rebuilds the incremental counters from the raw mirror after batched
+// word applies left them stale — the same O(n·Δ) pass as a promotion, paid
+// once per word-to-scalar regime transition.
+func (m *GoodMonitor) resync() {
+	m.decode()
+	m.recount()
+}
+
 // decode rebuilds the per-node turn decode from the raw mirror.
 func (m *GoodMonitor) decode() {
 	for v, q := range m.raw {
@@ -241,6 +328,7 @@ func (m *GoodMonitor) shard(v int) int {
 // refreshes its turn mirror (and drops its witnesses).
 func (m *GoodMonitor) Reset(cfg sa.Config) {
 	copy(m.raw, cfg)
+	m.wordOK.Store(false)
 	m.witnesses = m.witnesses[:0]
 	m.promote = false
 	if !m.deferred {
@@ -252,6 +340,7 @@ func (m *GoodMonitor) Reset(cfg sa.Config) {
 // recount rebuilds the violation counters and per-shard bad counts from the
 // turn mirror — the one full O(n·Δ) pass of a promotion.
 func (m *GoodMonitor) recount() {
+	m.stale = false
 	for s := range m.bad {
 		m.bad[s] = 0
 	}
@@ -302,6 +391,7 @@ func (m *GoodMonitor) nodeGoodScan(v int) bool {
 // final configuration, so simultaneous updates may be fed one node at a
 // time.
 func (m *GoodMonitor) Apply(v int, q sa.State) {
+	m.wordOK.Store(false)
 	if m.deferred {
 		if m.mx != nil {
 			was, now := m.au.Turn(m.raw[v]), m.au.Turn(q)
@@ -312,6 +402,13 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 		m.raw[v] = q
 		return
 	}
+	if m.stale {
+		m.resync()
+	}
+	// Keep the raw mirror current through the incremental regime too: it is
+	// the baseline ApplyWordBatch classifies against and resyncs from, so it
+	// must track every state change, not just deferred-regime ones.
+	m.raw[v] = q
 	t := m.au.Turn(q)
 	oldL, oldF := m.level[v], m.faulty[v]
 	newL, newF := t.Level, t.Faulty
@@ -378,8 +475,12 @@ func (m *GoodMonitor) Apply(v int, q sa.State) {
 // churn only there), so the per-shard bad slots of a sharded monitor may be
 // touched for both endpoints even when they live in different shards.
 func (m *GoodMonitor) RewireEdge(u, v int, added bool) {
+	m.wordOK.Store(false)
 	if m.deferred {
 		return
+	}
+	if m.stale {
+		m.resync()
 	}
 	uWasGood, vWasGood := m.nodeGood(u), m.nodeGood(v)
 	var d int32 = 1
@@ -419,8 +520,32 @@ func (m *GoodMonitor) RewireEdge(u, v int, added bool) {
 // scans — with early exit, refilling the witness cache — when all of them
 // have healed; the scan that finds no bad node is the promotion point.
 func (m *GoodMonitor) Good() bool {
+	if m.wordOK.Load() {
+		// The word engine certified the configuration good (NoteWordStep).
+		// A deferred monitor must still walk the exact promotion protocol of
+		// goodDeferred — first good verdict schedules the promotion, the
+		// next call performs it — because MonitorPromotions is a trajectory
+		// counter pinned across modes by the differential suites.
+		if m.deferred {
+			if m.promote {
+				m.promote = false
+				m.deferred = false
+				if m.mx != nil {
+					m.mx.MonitorPromotions.Add(1)
+				}
+				m.decode()
+				m.recount()
+			} else {
+				m.promote = true
+			}
+		}
+		return true
+	}
 	if m.deferred {
 		return m.goodDeferred()
+	}
+	if m.stale {
+		m.resync()
 	}
 	for _, b := range m.bad {
 		if b != 0 {
@@ -505,6 +630,9 @@ func (m *GoodMonitor) BadNodes() int {
 		}
 		return total
 	}
+	if m.stale {
+		m.resync()
+	}
 	total := 0
 	for _, b := range m.bad {
 		total += b
@@ -515,10 +643,15 @@ func (m *GoodMonitor) BadNodes() int {
 // BadNodesFast returns the not-good node count when it is cheap — the O(P)
 // per-shard combine of the incremental regime — and -1 in the deferred
 // regime, where an exact count would cost a full rescan. Step tracers use
-// it to enrich sampled snapshots without perturbing the hot path.
+// it to enrich sampled snapshots without perturbing the hot path. After
+// batched word applies the first call resyncs the counters (amortized
+// across the sampling interval).
 func (m *GoodMonitor) BadNodesFast() int {
 	if m.deferred {
 		return -1
+	}
+	if m.stale {
+		m.resync()
 	}
 	total := 0
 	for _, b := range m.bad {

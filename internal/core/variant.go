@@ -67,7 +67,7 @@ func NewAUVariant(d int, v Variant) (*AU, error) {
 		return nil, err
 	}
 	a := &AU{d: d, ls: ls, variant: v}
-	a.pool.New = func() any { return new(view) }
+	a.finish()
 	return a, nil
 }
 

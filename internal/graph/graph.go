@@ -153,6 +153,17 @@ func (g *Graph) Neighbors(v NodeID) []NodeID {
 // Degree returns the degree of v.
 func (g *Graph) Degree(v NodeID) int { return g.offsets[v+1] - g.offsets[v] }
 
+// CSR exposes the raw compressed-sparse-row adjacency: offsets has length
+// N()+1 and neighbors[offsets[v]:offsets[v+1]] is the sorted neighbor list of
+// v. The slices are the live storage, shared with the graph, and must be
+// treated as read-only; after a Delta.Apply re-compaction they must be
+// re-fetched (the backing arrays may have been replaced). Batch kernels
+// (sa.BuildSignals) consume them directly — NodeID is an alias of int, so
+// neighbors passes as []int without copying.
+func (g *Graph) CSR() (offsets []int, neighbors []NodeID) {
+	return g.offsets, g.neighbors
+}
+
 // HasEdge reports whether the edge (u, v) is present.
 func (g *Graph) HasEdge(u, v NodeID) bool {
 	l := g.Neighbors(u)

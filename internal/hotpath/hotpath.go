@@ -457,6 +457,56 @@ func ChurnRecovery(n int, frontier bool) func(b *testing.B) {
 	}
 }
 
+// WordName returns the canonical name of a word-parallel-series scenario.
+func WordName(scenario string, n int, word bool) string {
+	m := "scalar"
+	if word {
+		m = "word"
+	}
+	return fmt.Sprintf("%s/n=%d/%s", scenario, n, m)
+}
+
+// WordSteadyStep measures one dense engine step plus stabilization check on
+// an already-stabilized n-node instance under the synchronous scheduler,
+// with word-parallel execution toggled — the word series of
+// BENCH_hotpath.json. The scalar side is SteadyStep's exact regime; the word
+// side replaces the per-node sense/transition loop with the batched CSR
+// OR-scan plus one fused EvalGood pass, and because the synchronous schedule
+// activates every node, each step certifies the goodness plane, so the
+// monitor answers mon.Good() from the O(1) cached word verdict instead of
+// its counters. Both sides must show 0 allocs/op and walk byte-identical
+// trajectories (the engine differentials enforce the latter); cmd/hotpathbench
+// -plane-gate enforces the speedup ratio.
+func WordSteadyStep(n int, word bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		g, au, err := buildInstance(n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eng, err := sim.New(g, au, sim.Options{Seed: 2, WordParallel: word})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if word && !eng.WordActive() {
+			b.Fatal("word-parallel mode did not engage")
+		}
+		cond := goodCond(Incremental, au, g, eng)
+		if _, err := eng.RunUntil(cond, budget.AU(au.K())); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Step(); err != nil {
+				b.Fatal(err)
+			}
+			if !cond(eng) {
+				b.Fatal("stabilized instance left the good set")
+			}
+		}
+	}
+}
+
 // ShardName returns the canonical name of a shard-scaling scenario.
 func ShardName(scenario string, n, p int) string {
 	return fmt.Sprintf("%s/n=%d/p=%d", scenario, n, p)

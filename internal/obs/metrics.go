@@ -34,7 +34,8 @@ import (
 // FrontierSize and Settled (dense evaluates every activated node and
 // tracks no settlement; frontier skips settled self-loopers), CoinDraws
 // (classic draws one stream, sharded draws per-(step,node) streams),
-// BoundaryApplies and Repartitions (sharded only). Anything derived from
+// WordSteps (word-parallel only), BoundaryApplies and Repartitions
+// (sharded only). Anything derived from
 // Metrics that feeds a byte-compared record must be reduced to the
 // trajectory class first — see Snapshot.Trajectory and
 // campaign.Runner.EngineMetrics.
@@ -69,6 +70,11 @@ type Metrics struct {
 	// FrontierSize is a gauge: current frontier occupancy (meaningful
 	// only in frontier mode).
 	FrontierSize atomic.Uint64
+	// WordSteps counts engine steps executed on the word-parallel kernel
+	// path (mode counter: scalar modes never increment it, and a
+	// WordParallel engine whose algorithm offers no kernel falls back to
+	// scalar without counting).
+	WordSteps atomic.Uint64
 	// MonitorPromotions counts GoodMonitor regime switches
 	// (deferred → incremental, on the first good verdict).
 	MonitorPromotions atomic.Uint64
@@ -102,6 +108,7 @@ type Snapshot struct {
 	Settled           uint64 `json:"settled,omitempty"`
 	FrontierSkips     uint64 `json:"frontier_skips,omitempty"`
 	FrontierSize      uint64 `json:"frontier_size,omitempty"`
+	WordSteps         uint64 `json:"word_steps,omitempty"`
 	MonitorPromotions uint64 `json:"monitor_promotions,omitempty"`
 	BoundaryApplies   uint64 `json:"boundary_applies,omitempty"`
 	Repartitions      uint64 `json:"repartitions,omitempty"`
@@ -126,6 +133,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		Settled:           m.Settled.Load(),
 		FrontierSkips:     m.FrontierSkips.Load(),
 		FrontierSize:      m.FrontierSize.Load(),
+		WordSteps:         m.WordSteps.Load(),
 		MonitorPromotions: m.MonitorPromotions.Load(),
 		BoundaryApplies:   m.BoundaryApplies.Load(),
 		Repartitions:      m.Repartitions.Load(),
@@ -154,6 +162,7 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		Settled:           s.Settled - prev.Settled,
 		FrontierSkips:     s.FrontierSkips - prev.FrontierSkips,
 		FrontierSize:      s.FrontierSize - prev.FrontierSize,
+		WordSteps:         s.WordSteps - prev.WordSteps,
 		MonitorPromotions: s.MonitorPromotions - prev.MonitorPromotions,
 		BoundaryApplies:   s.BoundaryApplies - prev.BoundaryApplies,
 		Repartitions:      s.Repartitions - prev.Repartitions,
@@ -169,14 +178,15 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 // trajectory. Differential suites byte-compare this reduction across
 // execution modes (dense vs frontier, classic vs sharded): equal runs must
 // produce equal trajectory counters, while Evaluated, FrontierSkips,
-// FrontierSize, Settled, CoinDraws, BoundaryApplies and Repartitions
-// measure how the mode did the work and are exempt.
+// FrontierSize, Settled, CoinDraws, WordSteps, BoundaryApplies and
+// Repartitions measure how the mode did the work and are exempt.
 func (s Snapshot) Trajectory() Snapshot {
 	s.Evaluated = 0
 	s.FrontierSkips = 0
 	s.FrontierSize = 0
 	s.Settled = 0
 	s.CoinDraws = 0
+	s.WordSteps = 0
 	s.BoundaryApplies = 0
 	s.Repartitions = 0
 	return s
@@ -198,6 +208,7 @@ func (m *Metrics) Add(s Snapshot) {
 	m.Settled.Add(s.Settled)
 	m.FrontierSkips.Add(s.FrontierSkips)
 	m.FrontierSize.Add(s.FrontierSize)
+	m.WordSteps.Add(s.WordSteps)
 	m.MonitorPromotions.Add(s.MonitorPromotions)
 	m.BoundaryApplies.Add(s.BoundaryApplies)
 	m.Repartitions.Add(s.Repartitions)

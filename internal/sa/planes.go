@@ -1,0 +1,205 @@
+package sa
+
+import "math/bits"
+
+// Planes is a struct-of-arrays bit-plane configuration: plane b holds bit b
+// of every node's state, packed 64 nodes per uint64, so a configuration over
+// |Q| states needs ⌈log2 |Q|⌉ plane slices instead of an 8-byte scalar per
+// node. Word-parallel engines use it as the transposed view of sa.Config:
+// settled checks, frontier intersection and good-graph violation masks all
+// become whole-word AND/OR/popcount passes evaluating 64 nodes per op.
+//
+// The codec is exact for any |Q| (the round-trip Pack∘Unpack is the
+// identity; the fuzz tests pin the 63/64/65-state word boundaries), and the
+// derived-plane helpers (GEMask, SelfWords) produce the faulty plane and the
+// per-node self-words the batched signal builder consumes.
+type Planes struct {
+	n      int
+	states int
+	width  int // ⌈log2 states⌉, at least 1
+	words  int // words per plane = ⌈n/64⌉
+	planes [][]uint64
+}
+
+// PlaneWords returns the number of uint64 words a single bit-plane over n
+// nodes occupies.
+func PlaneWords(n int) int { return (n + 63) / 64 }
+
+// planeWidth returns ⌈log2 numStates⌉, the number of planes needed to encode
+// states 0..numStates−1; a degenerate 1-state space still gets one plane.
+func planeWidth(numStates int) int {
+	w := bits.Len(uint(numStates - 1))
+	if w == 0 {
+		w = 1
+	}
+	return w
+}
+
+// NewPlanes returns an all-zero (every node in state 0) bit-plane
+// configuration for n nodes over numStates states.
+func NewPlanes(n, numStates int) *Planes {
+	if n < 0 || numStates < 1 {
+		panic("sa: NewPlanes requires n >= 0 and numStates >= 1")
+	}
+	p := &Planes{
+		n:      n,
+		states: numStates,
+		width:  planeWidth(numStates),
+		words:  PlaneWords(n),
+	}
+	p.planes = make([][]uint64, p.width)
+	for b := range p.planes {
+		p.planes[b] = make([]uint64, p.words)
+	}
+	return p
+}
+
+// N returns the number of nodes.
+func (p *Planes) N() int { return p.n }
+
+// NumStates returns the size of the encoded state space.
+func (p *Planes) NumStates() int { return p.states }
+
+// Width returns the number of bit-planes, ⌈log2 NumStates()⌉.
+func (p *Planes) Width() int { return p.width }
+
+// Words returns the number of uint64 words per plane.
+func (p *Planes) Words() int { return p.words }
+
+// Plane returns bit-plane b (the live storage, 64 nodes per word). Callers
+// mutating it directly own the encoding invariants.
+func (p *Planes) Plane(b int) []uint64 { return p.planes[b] }
+
+// Pack encodes a scalar configuration into the planes. len(c) must equal N().
+func (p *Planes) Pack(c Config) {
+	if len(c) != p.n {
+		panic("sa: Planes.Pack configuration length mismatch")
+	}
+	for _, plane := range p.planes {
+		for i := range plane {
+			plane[i] = 0
+		}
+	}
+	for v, q := range c {
+		w, bit := v>>6, uint(v&63)
+		for b := 0; b < p.width; b++ {
+			if q&(1<<uint(b)) != 0 {
+				p.planes[b][w] |= 1 << bit
+			}
+		}
+	}
+}
+
+// Unpack decodes the planes into a scalar configuration. len(dst) must equal
+// N(); it is overwritten in place so steady paths stay allocation-free.
+func (p *Planes) Unpack(dst Config) {
+	if len(dst) != p.n {
+		panic("sa: Planes.Unpack configuration length mismatch")
+	}
+	for v := range dst {
+		dst[v] = 0
+	}
+	for b := 0; b < p.width; b++ {
+		plane := p.planes[b]
+		for v := range dst {
+			dst[v] |= int(plane[v>>6]>>uint(v&63)&1) << uint(b)
+		}
+	}
+}
+
+// Get decodes the state of node v.
+func (p *Planes) Get(v int) State {
+	w, bit := v>>6, uint(v&63)
+	q := 0
+	for b := 0; b < p.width; b++ {
+		q |= int(p.planes[b][w]>>bit&1) << uint(b)
+	}
+	return q
+}
+
+// Set encodes state q for node v.
+func (p *Planes) Set(v int, q State) {
+	w, bit := v>>6, uint(v&63)
+	for b := 0; b < p.width; b++ {
+		if q&(1<<uint(b)) != 0 {
+			p.planes[b][w] |= 1 << bit
+		} else {
+			p.planes[b][w] &^= 1 << bit
+		}
+	}
+}
+
+// GEMask derives the plane of the predicate "state ≥ q" — 64 nodes per step
+// of a bit-sliced magnitude comparison over the planes. For AlgAU, whose
+// faulty turns occupy the dense suffix 2k..4k−3 of the state space,
+// GEMask(2k, dst) is exactly the derived faulty plane; its complement within
+// the node range is the able plane. dst must have Words() words; it is fully
+// overwritten.
+func (p *Planes) GEMask(q State, dst []uint64) {
+	if len(dst) != p.words {
+		panic("sa: Planes.GEMask destination length mismatch")
+	}
+	for w := 0; w < p.words; w++ {
+		var ge, eq uint64 = 0, ^uint64(0)
+		for b := p.width - 1; b >= 0; b-- {
+			pb := p.planes[b][w]
+			if q&(1<<uint(b)) != 0 {
+				// threshold bit 1: states with bit 0 here fall below on tie
+				eq &= pb
+			} else {
+				// threshold bit 0: states with bit 1 here exceed on tie
+				ge |= eq & pb
+				eq &^= pb
+			}
+		}
+		dst[w] = ge | eq
+	}
+	// Mask the tail beyond node n−1 so popcounts over the result are exact.
+	if tail := uint(p.n & 63); tail != 0 && p.words > 0 {
+		dst[p.words-1] &= (1 << tail) - 1
+	}
+}
+
+// SelfWords derives the per-node self-words from the planes: dst[v] =
+// 1 << state(v), the one-word signal contribution of node v. It requires
+// NumStates() <= 64 and len(dst) == N(). Word-parallel engines keep this
+// array current incrementally and use SelfWords only to (re)materialize it
+// from a packed configuration — at startup, after SetState/InjectFaults, or
+// after a churn re-compaction.
+func (p *Planes) SelfWords(dst []uint64) {
+	if p.states > 64 {
+		panic("sa: Planes.SelfWords requires a state space of at most 64 states")
+	}
+	if len(dst) != p.n {
+		panic("sa: Planes.SelfWords destination length mismatch")
+	}
+	for v := range dst {
+		dst[v] = 1
+	}
+	for b := 0; b < p.width; b++ {
+		plane := p.planes[b]
+		shift := uint(1) << uint(b)
+		for v := range dst {
+			if plane[v>>6]>>uint(v&63)&1 != 0 {
+				dst[v] <<= shift
+			}
+		}
+	}
+}
+
+// BuildSignals is the batched neighborhood-signal builder: an OR-scan over
+// the CSR adjacency rows of nodes lo..hi−1, producing each node's inclusive
+// one-word signal sws[v−lo] = self[v] | OR_{u ∈ N(v)} self[u]. self[v] must
+// be 1 << state(v) (see Planes.SelfWords); offsets/neighbors are the raw CSR
+// arrays (graph.Graph.CSR). One load+OR per incident edge replaces the
+// scalar path's Signal.Reset + per-neighbor Signal.Set, and the result feeds
+// WordEval.Eval directly.
+func BuildSignals(self []uint64, offsets, neighbors []int, lo, hi int, sws []uint64) {
+	for v := lo; v < hi; v++ {
+		sw := self[v]
+		for _, u := range neighbors[offsets[v]:offsets[v+1]] {
+			sw |= self[u]
+		}
+		sws[v-lo] = sw
+	}
+}

@@ -1,0 +1,203 @@
+package sa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/sa"
+)
+
+// planeSizes pins the word boundaries the codec must survive: state spaces
+// of 63, 64 and 65 states straddle the one-word signal limit, and node
+// counts of 63, 64, 65 and 130 straddle the plane-word boundaries.
+var planeStateSizes = []int{1, 2, 3, 63, 64, 65, 100}
+var planeNodeSizes = []int{0, 1, 2, 63, 64, 65, 130}
+
+func TestPlanesPackUnpackRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, states := range planeStateSizes {
+		for _, n := range planeNodeSizes {
+			cfg := sa.Random(n, states, rng)
+			p := sa.NewPlanes(n, states)
+			p.Pack(cfg)
+			got := make(sa.Config, n)
+			p.Unpack(got)
+			if !got.Equal(cfg) {
+				t.Fatalf("states=%d n=%d: Pack∘Unpack not identity:\nwant %v\ngot  %v", states, n, cfg, got)
+			}
+			for v := range cfg {
+				if p.Get(v) != cfg[v] {
+					t.Fatalf("states=%d n=%d: Get(%d) = %d, want %d", states, n, v, p.Get(v), cfg[v])
+				}
+			}
+		}
+	}
+}
+
+func TestPlanesSetTracksScalarShadow(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, states := range []int{63, 64, 65} {
+		n := 130
+		shadow := sa.Random(n, states, rng)
+		p := sa.NewPlanes(n, states)
+		p.Pack(shadow)
+		for i := 0; i < 2000; i++ {
+			v, q := rng.Intn(n), rng.Intn(states)
+			shadow[v] = q
+			p.Set(v, q)
+			if p.Get(v) != q {
+				t.Fatalf("states=%d: Set/Get mismatch at node %d", states, v)
+			}
+		}
+		got := make(sa.Config, n)
+		p.Unpack(got)
+		if !got.Equal(shadow) {
+			t.Fatalf("states=%d: planes diverged from scalar shadow after random Sets", states)
+		}
+	}
+}
+
+func TestPlanesGEMaskMatchesScalarPredicate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, states := range []int{63, 64, 65} {
+		for _, n := range []int{1, 64, 65, 130} {
+			cfg := sa.Random(n, states, rng)
+			p := sa.NewPlanes(n, states)
+			p.Pack(cfg)
+			dst := make([]uint64, p.Words())
+			for _, q := range []int{0, 1, states / 2, states - 1} {
+				p.GEMask(q, dst)
+				for v := 0; v < n; v++ {
+					want := cfg[v] >= q
+					got := dst[v>>6]>>uint(v&63)&1 != 0
+					if got != want {
+						t.Fatalf("states=%d n=%d q=%d: GEMask bit for node %d (state %d) = %v, want %v",
+							states, n, q, v, cfg[v], got, want)
+					}
+				}
+				// Tail bits beyond node n−1 must be masked off.
+				if tail := uint(n & 63); tail != 0 {
+					if dst[p.Words()-1]&^((1<<tail)-1) != 0 {
+						t.Fatalf("states=%d n=%d q=%d: GEMask left tail bits set", states, n, q)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPlanesSelfWords(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, states := range []int{1, 2, 63, 64} {
+		n := 130
+		cfg := sa.Random(n, states, rng)
+		p := sa.NewPlanes(n, states)
+		p.Pack(cfg)
+		self := make([]uint64, n)
+		p.SelfWords(self)
+		for v := range cfg {
+			if self[v] != 1<<uint(cfg[v]) {
+				t.Fatalf("states=%d: self-word of node %d = %#x, want 1<<%d", states, v, self[v], cfg[v])
+			}
+		}
+	}
+}
+
+// TestBuildSignalsMatchesScalarSignal is the property test for the batched
+// CSR OR-scan: over random graphs, configurations and node ranges, the
+// one-word signals must equal the scalar sa.Signal built the slow way.
+func TestBuildSignalsMatchesScalarSignal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, states := range []int{2, 63, 64} {
+		for trial := 0; trial < 30; trial++ {
+			n := 1 + rng.Intn(150)
+			adj := make([][]int, n)
+			for v := 0; v < n; v++ {
+				for u := v + 1; u < n; u++ {
+					if rng.Float64() < 0.08 {
+						adj[v] = append(adj[v], u)
+						adj[u] = append(adj[u], v)
+					}
+				}
+			}
+			offsets := make([]int, n+1)
+			var neighbors []int
+			for v := 0; v < n; v++ {
+				offsets[v+1] = offsets[v] + len(adj[v])
+				neighbors = append(neighbors, adj[v]...)
+			}
+
+			cfg := sa.Random(n, states, rng)
+			p := sa.NewPlanes(n, states)
+			p.Pack(cfg)
+			self := make([]uint64, n)
+			p.SelfWords(self)
+
+			lo := rng.Intn(n)
+			hi := lo + rng.Intn(n-lo+1)
+			sws := make([]uint64, hi-lo)
+			sa.BuildSignals(self, offsets, neighbors, lo, hi, sws)
+
+			for v := lo; v < hi; v++ {
+				sig := sa.NewSignal(states)
+				sig.Set(cfg[v])
+				for _, u := range adj[v] {
+					sig.Set(cfg[u])
+				}
+				if sws[v-lo] != sig.Words()[0] {
+					t.Fatalf("states=%d trial=%d: signal word of node %d = %#x, scalar %#x",
+						states, trial, v, sws[v-lo], sig.Words()[0])
+				}
+			}
+		}
+	}
+}
+
+// FuzzPlanesCodec drives the codec with arbitrary byte strings interpreted
+// as configurations over the 63/64/65-state boundary spaces and checks the
+// round-trip identity plus Get agreement.
+func FuzzPlanesCodec(f *testing.F) {
+	f.Add([]byte{0, 1, 62, 63}, uint8(0))
+	f.Add([]byte{63}, uint8(1))
+	f.Add([]byte{64, 64, 64}, uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, pick uint8) {
+		states := []int{63, 64, 65}[int(pick)%3]
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		cfg := make(sa.Config, len(raw))
+		for i, b := range raw {
+			cfg[i] = int(b) % states
+		}
+		p := sa.NewPlanes(len(cfg), states)
+		p.Pack(cfg)
+		got := make(sa.Config, len(cfg))
+		p.Unpack(got)
+		if !got.Equal(cfg) {
+			t.Fatalf("round trip broke at states=%d len=%d", states, len(cfg))
+		}
+		for v := range cfg {
+			if p.Get(v) != cfg[v] {
+				t.Fatalf("Get(%d) = %d, want %d", v, p.Get(v), cfg[v])
+			}
+		}
+	})
+}
+
+// TestSubsetOfAllocs pins the guard-evaluation path: SubsetOf must not
+// allocate, even for multi-word signals.
+func TestSubsetOfAllocs(t *testing.T) {
+	sig := sa.NewSignal(130)
+	sig.Set(3)
+	sig.Set(70)
+	sig.Set(129)
+	allowed := []sa.State{3, 70, 129}
+	allocs := testing.AllocsPerRun(200, func() {
+		if !sig.SubsetOf(allowed...) {
+			t.Fatal("subset check failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Signal.SubsetOf allocates %v times per call, want 0", allocs)
+	}
+}

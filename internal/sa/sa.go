@@ -15,6 +15,7 @@ package sa
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"strings"
 )
@@ -63,15 +64,21 @@ func (s Signal) HasAny(qs ...State) bool {
 
 // SubsetOf reports whether every sensed state is among the allowed states.
 // It is the Λ ⊆ {...} test that the AlgAU transition conditions are phrased
-// in. The allowed list is expected to be tiny (2-3 states).
+// in. The allowed list is expected to be tiny (2-3 states); the mask is
+// rebuilt per word on the fly so the call performs no allocation — it sits
+// on the guard-evaluation path.
 func (s Signal) SubsetOf(allowed ...State) bool {
-	var mask Signal
-	mask.bits = make([]uint64, len(s.bits))
-	for _, q := range allowed {
-		mask.bits[q>>6] |= 1 << uint(q&63)
-	}
 	for i, w := range s.bits {
-		if w&^mask.bits[i] != 0 {
+		if w == 0 {
+			continue
+		}
+		var mask uint64
+		for _, q := range allowed {
+			if q>>6 == i {
+				mask |= 1 << uint(q&63)
+			}
+		}
+		if w&^mask != 0 {
 			return false
 		}
 	}
@@ -83,10 +90,9 @@ func (s Signal) States() []State {
 	var out []State
 	for i, w := range s.bits {
 		for w != 0 {
-			b := w & (-w)
-			q := i*64 + popLowBitIndex(b)
+			q := i*64 + bits.TrailingZeros64(w)
 			out = append(out, q)
-			w &^= b
+			w &= w - 1
 		}
 	}
 	return out
@@ -96,10 +102,7 @@ func (s Signal) States() []State {
 func (s Signal) Count() int {
 	n := 0
 	for _, w := range s.bits {
-		for w != 0 {
-			w &= w - 1
-			n++
-		}
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -124,14 +127,12 @@ func (s Signal) Clone() Signal {
 	return out
 }
 
-func popLowBitIndex(b uint64) int {
-	i := 0
-	for b > 1 {
-		b >>= 1
-		i++
-	}
-	return i
-}
+// Words exposes the signal's backing bit words (bit q of word q/64 = state q
+// sensed). The slice is the live storage, not a copy; callers must treat it
+// as read-only. It is what lets precompiled transition tables and the
+// word-parallel kernels test whole signals with a handful of word ops
+// instead of per-state Has probes.
+func (s Signal) Words() []uint64 { return s.bits }
 
 // Algorithm is a stone age algorithm Π = ⟨Q, Q_O, ω, δ⟩.
 //
@@ -183,6 +184,48 @@ type Settler interface {
 	// settled reports that δ(q, sig) is deterministically {q} with no coin
 	// toss (it implies next == q).
 	TransitionSettled(q State, sig Signal, rng *rand.Rand) (next State, settled bool)
+}
+
+// WordEval is a batch evaluator over one-word signals: for a state space of
+// at most 64 states a whole signal fits in a single uint64 (bit q set iff
+// state q is sensed), so δ can be evaluated with a handful of word ops per
+// node from precompiled masks instead of per-state probes and branchy
+// decoding. Engines obtain one via the WordKernel capability and feed it
+// batches built by the CSR OR-scan over per-node self-words (see Planes).
+//
+// The contract mirrors sa.Settler, strengthened to batches: implementations
+// must be deterministic and coin-free on every (state, signal) pair — Eval
+// draws nothing from any rng stream, and next[i] == cur[i] certifies that
+// δ(cur[i], sws[i]) is the self-loop {cur[i]}, so equality doubles as the
+// settled certificate frontier-sparse execution needs. A verdict that
+// disagrees with Algorithm.Transition breaks the word/scalar byte-identity
+// the differential harnesses enforce.
+type WordEval interface {
+	// Eval computes next[i] = δ(cur[i], sws[i]) for every slot of the batch.
+	// len(sws) and len(next) must equal len(cur); slices may alias only as
+	// cur == next. It must not allocate.
+	Eval(cur []State, sws []uint64, next []State)
+
+	// EvalGood is Eval fused with the algorithm's local legitimacy predicate
+	// (for AlgAU: the good-node predicate — able, no faulty turn sensed, all
+	// sensed levels adjacent): bit i of good (good[i>>6], bit i&63) is set
+	// iff slot i satisfies the predicate under (cur[i], sws[i]). good must
+	// have (len(cur)+63)/64 words; every touched word is fully overwritten,
+	// with tail bits beyond the batch set to 1 so an all-good batch reads as
+	// all-ones. Engines maintain a goodness bit-plane from these words and
+	// derive graph-wide stabilization verdicts by popcount instead of
+	// per-node monitor callbacks.
+	EvalGood(cur []State, sws []uint64, next []State, good []uint64)
+}
+
+// WordKernel is an optional extension of Algorithm enabling word-parallel
+// execution (sim.Options.WordParallel): algorithms whose state space fits in
+// a machine word can hand the engines a batch evaluator. Kernel returns nil
+// when no kernel is available (NumStates() > 64, or a variant the tables
+// cannot express); engines silently fall back to the scalar path, exactly
+// like the SelfLooper fallback of frontier-sparse mode.
+type WordKernel interface {
+	Kernel() WordEval
 }
 
 // Namer is an optional extension of Algorithm providing human-readable state

@@ -349,6 +349,14 @@ func (e *Engine) ApplyDelta(d *graph.Delta) ([]graph.EdgeChange, error) {
 	if len(changes) == 0 {
 		return nil, nil
 	}
+	if e.wr != nil {
+		// The commit re-compacted the CSR arrays (possibly replacing the
+		// backing storage); re-fetch the word runtime's adjacency views.
+		// The self-words are untouched — churn moves edges, not states —
+		// and the stale goodness bits of the rewired endpoints are harmless:
+		// certification only trusts steps that refresh every drifted node.
+		e.wr.refreshCSR(e)
+	}
 	if e.fr != nil {
 		// Seed the frontier with every endpoint's neighborhood: an edge
 		// change rewrites the signals of its endpoints, voiding their
@@ -390,5 +398,11 @@ func (pr *parRuntime) rewire(e *Engine, touched []int) {
 	}
 	if pr.shObs != nil {
 		pr.shObs.AttachShards(next.ShardIndex(), next.P())
+	}
+	if e.wr != nil {
+		// The goodness slabs are laid out per shard; re-carve them for the
+		// new bounds and refresh every bit from the current configuration
+		// (strictly fresher than the per-eval invariant requires).
+		e.wr.rebuildSlabs(e)
 	}
 }

@@ -108,9 +108,12 @@ type Engine struct {
 	faultBuf      []int // reusable permutation buffer for InjectFaults
 	actBuf        []int // canonicalization buffer for unsorted activation lists
 
-	par   *parRuntime      // sharded-execution runtime; nil in classic mode
-	fr    *frontierRuntime // frontier-sparse runtime; nil in dense mode
-	churn *churnRuntime    // topology-churn driver; nil when Options.Churn is off
+	par    *parRuntime         // sharded-execution runtime; nil in classic mode
+	fr     *frontierRuntime    // frontier-sparse runtime; nil in dense mode
+	churn  *churnRuntime       // topology-churn driver; nil when Options.Churn is off
+	wr     *wordRuntime        // word-parallel runtime; nil in scalar mode
+	wObs   WordVerdictObserver // obs, when it consumes per-step word verdicts
+	wBatch WordBatchObserver   // obs, when it additionally takes batched applies
 
 	// mx is the engine's metric set — always non-nil (allocated at New when
 	// Options.Metrics is nil) so every update site is an unconditional
@@ -235,6 +238,25 @@ type Options struct {
 	// The option is ignored (dense execution) when the algorithm does not
 	// implement sa.SelfLooper.
 	Frontier bool
+
+	// WordParallel enables word-parallel execution: when the algorithm
+	// implements sa.WordKernel and its state space fits in a machine word,
+	// each step's signals are built by a CSR OR-scan over per-node one-word
+	// self-signals and δ is evaluated by the algorithm's batch kernel from
+	// precompiled masks, instead of the scalar per-node Signal construction
+	// and transition decoding. The kernel contract (deterministic, coin-free,
+	// next == cur ⟺ settled) makes word runs byte-identical to scalar runs
+	// of the same seed in every mode — dense or frontier, any Parallelism,
+	// with or without churn — which the differential suites and the campaign
+	// -plane-check guard enforce.
+	//
+	// The fused goodness plane additionally certifies full-refresh steps
+	// (see WordVerdictObserver), so an attached core.GoodMonitor answers
+	// Good() in O(1) on the steady path instead of scanning.
+	//
+	// The option is silently ignored (scalar execution) when the algorithm
+	// does not implement sa.WordKernel or Kernel() returns nil (|Q| > 64).
+	WordParallel bool
 
 	// Metrics, when non-nil, receives the engine's counters (see obs.Metrics
 	// for the catalog). When nil the engine allocates a private set —
@@ -413,6 +435,13 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		}
 		e.churn = cr
 	}
+	if opts.WordParallel {
+		if wk, ok := alg.(sa.WordKernel); ok {
+			if kern := wk.Kernel(); kern != nil {
+				e.wr = newWordRuntime(e, kern)
+			}
+		}
+	}
 	return e, nil
 }
 
@@ -460,6 +489,14 @@ func (e *Engine) AddHook(h Hook) { e.hooks = append(e.hooks, h) }
 // node order.
 func (e *Engine) Observe(o ConfigObserver) {
 	e.obs = o
+	e.wObs = nil
+	e.wBatch = nil
+	if wo, ok := o.(WordVerdictObserver); ok {
+		e.wObs = wo
+	}
+	if wb, ok := o.(WordBatchObserver); ok {
+		e.wBatch = wb
+	}
 	if e.par == nil {
 		return
 	}
@@ -490,6 +527,9 @@ func (e *Engine) SetState(v int, q sa.State) error {
 		return fmt.Errorf("sim: state %d out of range", q)
 	}
 	e.cfg[v] = q
+	if e.wr != nil {
+		e.wr.noteWrite(v, q)
+	}
 	if e.fr != nil {
 		e.fr.invalidate(e.g, v)
 	}
@@ -512,6 +552,9 @@ func (e *Engine) InjectFaults(count int) []int {
 	hit := randx.PartialShuffle(&e.faultBuf, e.g.N(), count, e.rng)
 	for _, v := range hit {
 		e.cfg[v] = e.rng.Intn(e.alg.NumStates())
+		if e.wr != nil {
+			e.wr.noteWrite(v, e.cfg[v])
+		}
 		if e.fr != nil {
 			e.fr.invalidate(e.g, v)
 		}
@@ -547,13 +590,23 @@ func (e *Engine) Step() error {
 	} else {
 		activated := canonActivations(e.sched.Activations(e.step, e.g.N()), &e.actBuf)
 		e.stepAct, e.stepEval = len(activated), len(activated)
-		if e.par != nil {
+		switch {
+		case e.wr != nil && e.par != nil:
+			e.stepShardedWord(activated, -1)
+		case e.wr != nil:
+			e.stepSequentialWord(activated)
+		case e.par != nil:
 			e.stepSharded(activated)
-		} else {
+		default:
 			e.stepSequential(activated)
 		}
 		e.tracker.Observe(activated)
 		e.lastActivated = activated
+	}
+	if e.wr != nil && e.wObs != nil {
+		// Delivered after every apply of the step, so a later Apply (fault
+		// injection, churn) supersedes the verdict at the observer.
+		e.wObs.NoteWordStep(e.wr.certified)
 	}
 	e.step++
 	if err := e.flushStats(); err != nil {
@@ -585,6 +638,9 @@ func (e *Engine) flushStats() error {
 	if e.fr != nil {
 		frLen = int64(e.fr.set.Len())
 		m.FrontierSize.Store(uint64(frLen))
+	}
+	if e.wr != nil {
+		m.WordSteps.Add(1)
 	}
 	e.flushCoins()
 	if e.tracer != nil {
@@ -638,6 +694,11 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 func (e *Engine) stepFrontier() {
 	fr := e.fr
 	n := e.g.N()
+	// The frontier occupancy before any of this step's settle-clears: the
+	// word path certifies its goodness plane only when the step evaluated
+	// the entire frontier (settled nodes' plane bits are valid by the
+	// settled invariant; unevaluated frontier nodes' are not).
+	frBefore := fr.set.Len()
 	var eval []int
 	fr.lastFull, fr.lastAllBut = false, -1
 	if sp, ok := e.sched.(sched.SparseActivator); ok {
@@ -674,9 +735,14 @@ func (e *Engine) stepFrontier() {
 		e.stepAct = len(activated)
 	}
 	e.stepEval = len(eval)
-	if e.par != nil {
+	switch {
+	case e.wr != nil && e.par != nil:
+		e.stepShardedWord(eval, frBefore)
+	case e.wr != nil:
+		e.stepSequentialFrontierWord(eval, frBefore)
+	case e.par != nil:
 		e.stepShardedFrontier(eval)
-	} else {
+	default:
 		e.stepSequentialFrontier(eval)
 	}
 }
@@ -984,6 +1050,20 @@ func (e *Engine) FrontierLen() int {
 		return -1
 	}
 	return e.fr.set.Len()
+}
+
+// WordActive reports whether the engine executes on the word-parallel kernel
+// path (Options.WordParallel set and the algorithm offered a kernel).
+func (e *Engine) WordActive() bool { return e.wr != nil }
+
+// Planes materializes the bit-plane view of the current configuration: a
+// fresh sa.Planes packed from C_t. It is a checkpoint/inspection interchange
+// format (O(n·⌈log2|Q|⌉/64) to build), not a live view — the engine's hot
+// word state is the one-hot self-word array derived from it at construction.
+func (e *Engine) Planes() *sa.Planes {
+	p := sa.NewPlanes(e.g.N(), e.alg.NumStates())
+	p.Pack(e.cfg)
+	return p
 }
 
 // RunRounds executes steps until the given number of additional rounds have

@@ -1,0 +1,115 @@
+package syncsim_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+	"thinunison/internal/syncsim"
+)
+
+// auStep wraps the scalar AU transition as a syncsim node program: the
+// scalar oracle the word engine is checked against. AU is coin-free, so the
+// rng argument is never touched and the synchronous trajectory is unique.
+func auStep(au *core.AU) syncsim.StepFunc[int] {
+	return func(self int, sensed []int, rng *rand.Rand) int {
+		sig := sa.NewSignal(au.NumStates())
+		for _, q := range sensed {
+			sig.Set(q)
+		}
+		return au.Transition(self, sig, rng)
+	}
+}
+
+// TestWordEngineMatchesScalarOracle runs the batched word rounds against the
+// scalar synchronous engine on the same AU instance and demands
+// byte-identical configurations every round, with the word engine's AllGood
+// verdict matching the full-scan GraphGood oracle.
+func TestWordEngineMatchesScalarOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		g, err := graph.BoundedDiameter(40+trial*17, 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		initial := sa.Random(g.N(), au.NumStates(), rng)
+		scalar, err := syncsim.New(g, auStep(au), initial, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		word, err := syncsim.NewWord(g, au, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < 60; r++ {
+			pre := word.Config() // AllGood reports on the pre-apply evaluation point
+			scalar.Round()
+			word.Round()
+			for v := 0; v < g.N(); v++ {
+				if scalar.State(v) != word.State(v) {
+					t.Fatalf("trial %d round %d: node %d diverged: scalar %s, word %s",
+						trial, r, v, au.StateName(scalar.State(v)), au.StateName(word.State(v)))
+				}
+			}
+			if got, want := word.AllGood(), au.GraphGood(g, pre); got != want {
+				t.Fatalf("trial %d round %d: AllGood = %v, GraphGood oracle = %v", trial, r, got, want)
+			}
+			// Closure: a certified-good evaluation point stays good through
+			// the round's simultaneous applies.
+			if word.AllGood() && !au.GraphGood(g, word.Config()) {
+				t.Fatalf("trial %d round %d: closure violated: good verdict did not survive applies", trial, r)
+			}
+			if len(scalar.Changed()) != len(word.Changed()) {
+				t.Fatalf("trial %d round %d: changed-set size diverged", trial, r)
+			}
+		}
+		if word.Metrics().WordSteps.Load() != 60 {
+			t.Fatalf("trial %d: word engine recorded %d WordSteps, want 60", trial, word.Metrics().WordSteps.Load())
+		}
+	}
+}
+
+// TestWordEngineRoundAllocs pins the steady round loop to zero allocations.
+func TestWordEngineRoundAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.BoundedDiameter(200, 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	word, err := syncsim.NewWord(g, au, sa.Random(g.N(), au.NumStates(), rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		word.Round() // warm up: changed-set buffer reaches steady capacity
+	}
+	if n := testing.AllocsPerRun(100, word.Round); n != 0 {
+		t.Fatalf("WordEngine.Round allocates %v times per round, want 0", n)
+	}
+}
+
+// TestNewWordRejectsKernelless: kernel-less algorithms and over-wide state
+// spaces must be rejected up front — there is no scalar body to fall back to.
+func TestNewWordRejectsKernelless(t *testing.T) {
+	g, err := graph.Cycle(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := core.NewAU(5) // |Q| = 66 > 64
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := syncsim.NewWord(g, wide, sa.Uniform(5, 0)); err == nil {
+		t.Fatal("NewWord accepted a |Q| > 64 algorithm")
+	}
+}
