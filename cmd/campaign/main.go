@@ -22,7 +22,11 @@
 // -frontier forces the mode on or off, and -frontier-check runs the preset
 // as a dense-vs-frontier divergence guard. -word opts AU scenarios into
 // word-parallel (bit-planed batch) transition evaluation, and -plane-check
-// runs the preset as a scalar-vs-word divergence guard.
+// runs the preset as a scalar-vs-word divergence guard. -restore-check runs
+// the checkpoint/restore differential instead: every engine mode ×
+// parallelism × churn combination is run uninterrupted and checkpointed at
+// the halfway step, and the guard fails unless the restored continuation is
+// byte-identical to the uninterrupted run.
 //
 // Observability (see internal/obs): -progress paints a live throughput line
 // on stderr, -metrics keeps each record's engine-counter block, -debug-addr
@@ -152,6 +156,7 @@ func run() int {
 		workers = flag.Int("workers", 0, "worker goroutines (0 = NumCPU)")
 		seed    = flag.Int64("seed", 1, "campaign seed; all per-scenario seeds derive from it")
 		out     = flag.String("out", "-", "JSONL output path (- = stdout)")
+		resume  = flag.Bool("resume", false, "resume an interrupted campaign: requires -out FILE; truncates any torn trailing record, skips scenarios already recorded, fsyncs every appended record, and leaves the file byte-identical to an uninterrupted run")
 		csvPath = flag.String("csv", "", "also write records as CSV to this path")
 		timing  = flag.Bool("timing", false, "include wall_ms in records (breaks byte-for-byte reproducibility)")
 		quiet   = flag.Bool("quiet", false, "suppress the aggregate table on stderr")
@@ -162,6 +167,9 @@ func run() int {
 		fcheck  = flag.Bool("frontier-check", false, "divergence guard: run every scenario dense and frontier-sparse and fail if any record differs, instead of a normal campaign")
 		ccheck  = flag.Bool("churn-check", false, "churn differential guard: run every scenario dense-P1 and frontier-P8 with the GoodMonitor full-scan oracle and fail on any divergence, instead of a normal campaign (pair with -preset bio-churn)")
 		pcheck  = flag.Bool("plane-check", false, "word-parallel differential guard: run every scenario scalar and word-parallel and fail if any record differs, instead of a normal campaign")
+		rcheck  = flag.Bool("restore-check", false, "checkpoint differential guard: for every engine mode x parallelism x churn combination, fail unless a run checkpointed and restored at the halfway step is byte-identical to an uninterrupted run (ignores -preset)")
+		fork    = flag.String("fork", "", "fork mode: restore this unisonsim checkpoint into -fork-futures perturbed continuations (future f suffers f+1 transient faults) and emit one record per future (ignores -preset)")
+		futures = flag.Int("fork-futures", 8, "number of alternative futures -fork runs")
 		word    = flag.Bool("word", false, "force word-parallel (bit-planed batch) AU execution; falls back to scalar when the algorithm offers no word kernel (records are identical either way)")
 
 		metrics    = flag.Bool("metrics", false, "keep each record's engine-telemetry block (mode-dependent counters; breaks byte-for-byte comparability across execution modes)")
@@ -245,10 +253,62 @@ func run() int {
 	if *pcheck {
 		return planeCheck(scenarios)
 	}
+	if *rcheck {
+		if failures := campaign.RestoreCheck(os.Stderr); failures > 0 {
+			return 1
+		}
+		return 0
+	}
+	if *fork != "" {
+		jsonl := io.Writer(os.Stdout)
+		closeOut := func() error { return nil }
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "campaign:", err)
+				return 1
+			}
+			closeOut = f.Close
+			jsonl = f
+		}
+		forkErr := campaign.Fork(*fork, campaign.ForkOptions{Futures: *futures}, func(rec campaign.Record) error {
+			return campaign.AppendJSONL(jsonl, rec)
+		})
+		if err := closeOut(); err != nil && forkErr == nil {
+			forkErr = err
+		}
+		if forkErr != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", forkErr)
+			return 1
+		}
+		return 0
+	}
 
 	var jsonl io.Writer = os.Stdout
 	closeOut := func() error { return nil }
-	if *out != "-" {
+	appendRec := func(rec campaign.Record) error { return campaign.AppendJSONL(jsonl, rec) }
+	if *resume {
+		if *out == "-" {
+			fmt.Fprintln(os.Stderr, "campaign: -resume requires -out FILE")
+			return 2
+		}
+		rlog, err := campaign.OpenResumable(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "campaign:", err)
+			return 1
+		}
+		closeOut = rlog.Close
+		appendRec = rlog.Append
+		remaining := scenarios[:0]
+		for _, sc := range scenarios {
+			if !rlog.Done(sc) {
+				remaining = append(remaining, sc)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "campaign: resuming %s: %d record(s) recovered (%d torn byte(s) dropped), %d of %d scenario(s) left\n",
+			*out, rlog.Recovered, rlog.TruncatedBytes, len(remaining), len(scenarios))
+		scenarios = remaining
+	} else if *out != "-" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "campaign:", err)
@@ -273,7 +333,7 @@ func run() int {
 		EngineMetrics: *metrics,
 		OnRecord: func(rec campaign.Record) {
 			if streamErr == nil {
-				streamErr = campaign.AppendJSONL(jsonl, rec)
+				streamErr = appendRec(rec)
 			}
 		},
 	}

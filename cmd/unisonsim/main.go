@@ -11,6 +11,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -25,8 +26,47 @@ import (
 	"thinunison/internal/obs"
 	"thinunison/internal/sched"
 	"thinunison/internal/sim"
+	"thinunison/internal/snapshot"
 	"thinunison/internal/trace"
 )
+
+// runMeta is the "runmeta" snapshot section: the non-serializable recipe —
+// diameter bound (hence the AU state space), scheduler kind, and base seed —
+// a fresh process needs to reconstruct the algorithm and scheduler before
+// sim.Restore rewinds the engine itself.
+type runMeta struct {
+	D     int    `json:"d"`
+	Sched string `json:"sched"`
+	Seed  int64  `json:"seed"`
+}
+
+// saveCheckpoint writes the engine snapshot plus the runmeta section to path
+// and points the flight recorder at it, so a later failure dump names the
+// checkpoint that replays the window.
+func saveCheckpoint(path string, eng *sim.Engine, meta runMeta, tracer *obs.Tracer) error {
+	metaBytes, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := eng.SaveState(f, snapshot.Section{Name: "runmeta", Data: metaBytes}); err != nil {
+		f.Close()
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	tracer.SetSnapshotRef(path)
+	fmt.Printf("checkpoint written to %s (step %d, round %d)\n", path, eng.StepCount(), eng.Rounds())
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -52,40 +92,17 @@ func run() error {
 		traceOut   = flag.String("trace-out", "", "step-trace JSONL path (- or empty = stderr)")
 		flightRing = flag.Int("flight-ring", 0, "flight-recorder depth in steps (0 = default 64); dumped on stderr when the run fails")
 		stats      = flag.Bool("stats", false, "print the engine's metric snapshot on exit")
+
+		checkpoint   = flag.String("checkpoint", "", "write an engine snapshot to this path (at -checkpoint-at steps, or at stabilization)")
+		checkpointAt = flag.Int("checkpoint-at", 0, "take the -checkpoint snapshot after this many steps (0 = at stabilization)")
+		restorePath  = flag.String("restore", "", "resume a run from this snapshot instead of starting fresh")
+		replayFrom   = flag.String("replay-from", "", "like -restore, but with the round trace forced on: deterministic time-travel replay of the post-checkpoint window")
 	)
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	g, err := graph.FromFamily(graph.Family(*family), *n, maxInt(*d, 1), rng)
-	if err != nil {
-		return err
-	}
-	bound := *d
-	if bound == 0 {
-		bound = g.Diameter()
-		if bound < 1 {
-			bound = 1
-		}
-	}
-	au, err := core.NewAU(bound)
-	if err != nil {
-		return err
-	}
-
-	var s sched.Scheduler
-	switch *schedName {
-	case "sync":
-		s = sched.NewSynchronous()
-	case "rr":
-		s = sched.NewRoundRobin()
-	case "random":
-		s = sched.NewRandomSubset(0.4, 16, rand.New(rand.NewSource(*seed+1)))
-	case "laggard":
-		s = sched.NewLaggard(0, 4)
-	case "permuted":
-		s = sched.NewPermuted(rand.New(rand.NewSource(*seed + 2)))
-	default:
-		return fmt.Errorf("unknown scheduler %q", *schedName)
+	if *replayFrom != "" {
+		*restorePath = *replayFrom
+		*traceFlag = true
 	}
 
 	if *debugAddr != "" {
@@ -118,10 +135,68 @@ func run() error {
 	mx := &obs.Metrics{}
 	obs.Publish("unisonsim", mx)
 
-	eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: *seed, Metrics: mx, Trace: tracer})
-	if err != nil {
-		return err
+	var (
+		eng  *sim.Engine
+		au   *core.AU
+		s    sched.Scheduler
+		meta runMeta
+	)
+	if *restorePath != "" {
+		data, err := os.ReadFile(*restorePath)
+		if err != nil {
+			return err
+		}
+		// Peek the runmeta section first: the algorithm and scheduler are
+		// rebuilt from the recipe before the engine restore rewinds them.
+		sections, err := snapshot.Read(bytes.NewReader(data))
+		if err != nil {
+			return err
+		}
+		metaBytes, ok := sections["runmeta"]
+		if !ok {
+			return fmt.Errorf("%s has no runmeta section (not a unisonsim checkpoint)", *restorePath)
+		}
+		if err := json.Unmarshal(metaBytes, &meta); err != nil {
+			return fmt.Errorf("%s: runmeta: %w", *restorePath, err)
+		}
+		if au, err = core.NewAU(meta.D); err != nil {
+			return err
+		}
+		if s, err = sched.ByName(meta.Sched, meta.Seed); err != nil {
+			return err
+		}
+		eng, _, err = sim.Restore(bytes.NewReader(data), au, sim.RestoreOptions{Scheduler: s, Metrics: mx, Trace: tracer})
+		if err != nil {
+			return err
+		}
+		tracer.SetSnapshotRef(*restorePath)
+		fmt.Printf("restored %s: step %d, round %d\n", *restorePath, eng.StepCount(), eng.Rounds())
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		g, err := graph.FromFamily(graph.Family(*family), *n, maxInt(*d, 1), rng)
+		if err != nil {
+			return err
+		}
+		bound := *d
+		if bound == 0 {
+			bound = g.Diameter()
+			if bound < 1 {
+				bound = 1
+			}
+		}
+		if au, err = core.NewAU(bound); err != nil {
+			return err
+		}
+		if s, err = sched.ByName(*schedName, *seed); err != nil {
+			return err
+		}
+		meta = runMeta{D: bound, Sched: *schedName, Seed: *seed}
+		eng, err = sim.New(g, au, sim.Options{Scheduler: s, Seed: *seed, Metrics: mx, Trace: tracer})
+		if err != nil {
+			return err
+		}
 	}
+	g := eng.Graph()
 	// On any failure (budget exhaustion, no recovery), dump the flight ring
 	// so the last steps before the failure are inspectable.
 	fail := func(err error) error {
@@ -137,7 +212,7 @@ func run() error {
 	}
 
 	fmt.Printf("AlgAU on %s (diameter %d, bound D=%d, k=%d, %d states), scheduler %s\n",
-		g, g.Diameter(), bound, au.K(), au.NumStates(), s.Name())
+		g, g.Diameter(), meta.D, au.K(), au.NumStates(), s.Name())
 	fmt.Printf("initial: %s\n", eng.Config().String(au))
 
 	k := au.K()
@@ -146,6 +221,11 @@ func run() error {
 	for !au.GraphGood(g, eng.Config()) {
 		if err := eng.Step(); err != nil {
 			return err
+		}
+		if *checkpoint != "" && *checkpointAt > 0 && eng.StepCount() == *checkpointAt {
+			if err := saveCheckpoint(*checkpoint, eng, meta, tracer); err != nil {
+				return err
+			}
 		}
 		if *traceFlag && eng.Rounds() != lastRound {
 			lastRound = eng.Rounds()
@@ -159,6 +239,11 @@ func run() error {
 		}
 	}
 	fmt.Printf("stabilized after %d rounds: %s\n", eng.Rounds(), eng.Config().String(au))
+	if *checkpoint != "" && *checkpointAt == 0 {
+		if err := saveCheckpoint(*checkpoint, eng, meta, tracer); err != nil {
+			return err
+		}
+	}
 
 	fmt.Printf("pulsing for %d rounds:\n", *pulses)
 	for i := 0; i < *pulses; i++ {

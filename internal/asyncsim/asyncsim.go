@@ -40,6 +40,7 @@ type Engine[S comparable] struct {
 	mx       *obs.Metrics
 	tracer   *obs.Tracer
 	coin     *randx.Counting // rng draw counter; nil if unavailable
+	seed     int64           // construction seed, retained for checkpointing
 	traceErr error           // first sink error of the attached tracer
 }
 
@@ -75,6 +76,7 @@ func New[S comparable](g *graph.Graph, step syncsim.StepFunc[S], initial []S, s 
 		tracker: sched.NewRoundTracker(g.N()),
 		mx:      &obs.Metrics{},
 		coin:    coin,
+		seed:    seed,
 	}, nil
 }
 

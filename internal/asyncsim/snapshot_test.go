@@ -1,0 +1,115 @@
+package asyncsim_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/asyncsim"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/snapshot"
+	"thinunison/internal/syncsim"
+)
+
+// jitterStep consumes rng on every activation, so the checkpoint must rewind
+// the shared stream exactly for the continuation to match.
+func jitterStep(self int, sensed []int, rng *rand.Rand) int {
+	return (syncsim.MinSensed(sensed, func(v int) int { return v }) + 1 + rng.Intn(3)) % 512
+}
+
+// TestAsyncsimRestoreDifferential: run K steps under a stateful scheduler,
+// snapshot, restore with a freshly constructed scheduler of the same seed,
+// run K more — identical to the uninterrupted run, including a fault burst
+// and the round-boundary bookkeeping.
+func TestAsyncsimRestoreDifferential(t *testing.T) {
+	const (
+		seed = 13
+		k    = 60
+	)
+	rng := rand.New(rand.NewSource(2))
+	g, err := graph.RandomConnected(32, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := make([]int, g.N())
+	for v := range initial {
+		initial[v] = v % 512
+	}
+	encode := func(e *snapshot.Enc, s int) { e.Int(s) }
+	decode := func(d *snapshot.Dec) int { return d.Int() }
+	randomState := func(rng *rand.Rand) int { return rng.Intn(512) }
+
+	mkSched := func() sched.Scheduler { return sched.NewRandomSubsetSeeded(0.5, 6, seed+1) }
+	ref, err := asyncsim.New(g, jitterStep, initial, mkSched(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		ref.Step()
+	}
+	var buf bytes.Buffer
+	if err := ref.SaveState(&buf, encode); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	restored, _, err := asyncsim.Restore(bytes.NewReader(buf.Bytes()), decode, asyncsim.RestoreOptions[int]{
+		Step:      jitterStep,
+		Scheduler: mkSched(),
+	})
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	if restored.Steps() != ref.Steps() || restored.Rounds() != ref.Rounds() {
+		t.Fatalf("restored position (%d steps, %d rounds) != reference (%d, %d)",
+			restored.Steps(), restored.Rounds(), ref.Steps(), ref.Rounds())
+	}
+	for i := 0; i < k; i++ {
+		if i == k/2 {
+			hitA := append([]int(nil), ref.InjectFaults(3, randomState)...)
+			hitB := restored.InjectFaults(3, randomState)
+			for j := range hitA {
+				if hitA[j] != hitB[j] {
+					t.Fatalf("fault victims diverged at burst")
+				}
+			}
+		}
+		ref.Step()
+		restored.Step()
+		a, b := ref.View(), restored.View()
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("step %d: node %d diverged", i, v)
+			}
+		}
+		if restored.Rounds() != ref.Rounds() {
+			t.Fatalf("step %d: rounds %d vs %d", i, restored.Rounds(), ref.Rounds())
+		}
+	}
+	if got, want := restored.Metrics().Snapshot().Trajectory(), ref.Metrics().Snapshot().Trajectory(); got != want {
+		t.Fatalf("trajectory metrics diverged: %+v vs %+v", got, want)
+	}
+}
+
+// TestAsyncsimRestoreRejectsMissingScheduler: a snapshot carrying scheduler
+// state cannot be restored onto a scheduler that has none.
+func TestAsyncsimRestoreRejectsMissingScheduler(t *testing.T) {
+	g, err := graph.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := make([]int, g.N())
+	encode := func(e *snapshot.Enc, s int) { e.Int(s) }
+	decode := func(d *snapshot.Dec) int { return d.Int() }
+	e, err := asyncsim.New(g, jitterStep, initial, sched.NewPermutedSeeded(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Step()
+	var buf bytes.Buffer
+	if err := e.SaveState(&buf, encode); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := asyncsim.Restore(bytes.NewReader(buf.Bytes()), decode, asyncsim.RestoreOptions[int]{Step: jitterStep}); err == nil {
+		t.Fatal("restore accepted a stateful-scheduler snapshot with a stateless scheduler")
+	}
+}

@@ -15,7 +15,6 @@ package campaign
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
@@ -98,7 +97,11 @@ func (s SchedulerSpec) effective() SchedulerSpec {
 }
 
 // Build instantiates a fresh scheduler for one run, seeding any internal
-// randomness from seed.
+// randomness from seed. The stochastic schedulers use the SEEDED
+// constructors — byte-identical pass-throughs of their externally-seeded
+// twins that additionally implement sched.Checkpointer, so campaign runs are
+// checkpointable (restore-check, resumable runs) without changing a single
+// record byte.
 func (s SchedulerSpec) Build(seed int64) (sched.Scheduler, error) {
 	s = s.effective()
 	switch s.Kind {
@@ -107,11 +110,11 @@ func (s SchedulerSpec) Build(seed int64) (sched.Scheduler, error) {
 	case "round-robin":
 		return sched.NewRoundRobin(), nil
 	case "random-subset":
-		return sched.NewRandomSubset(s.P, s.MaxGap, rand.New(rand.NewSource(seed))), nil
+		return sched.NewRandomSubsetSeeded(s.P, s.MaxGap, seed), nil
 	case "laggard":
 		return sched.NewLaggard(s.Victim, s.Period), nil
 	case "permuted":
-		return sched.NewPermuted(rand.New(rand.NewSource(seed))), nil
+		return sched.NewPermutedSeeded(seed), nil
 	default:
 		return nil, fmt.Errorf("campaign: unknown scheduler kind %q", s.Kind)
 	}

@@ -1,0 +1,117 @@
+package campaign_test
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"thinunison/internal/campaign"
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sched"
+	"thinunison/internal/sim"
+	"thinunison/internal/snapshot"
+)
+
+// writeForkSnapshot produces a unisonsim-shaped checkpoint: an engine run
+// for a while, saved with the runmeta recipe section.
+func writeForkSnapshot(t *testing.T, dir string, seed int64) string {
+	t.Helper()
+	const d = 3
+	au, err := core.NewAU(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g, err := graph.RandomConnected(20, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.ByName("random", seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(g, au, sim.Options{Scheduler: s, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	for i := 0; i < 25; i++ {
+		if err := eng.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path := filepath.Join(dir, "fork.snap")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := []byte(`{"d":3,"sched":"random","seed":` + "7" + `}`)
+	if err := eng.SaveState(f, snapshot.Section{Name: "runmeta", Data: meta}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestForkFutures: fork mode restores one snapshot into N perturbed
+// continuations — each future recovers from its own fault burst, records
+// carry distinct perturbations over identical restored topology, and the
+// whole matrix is deterministic (a re-fork emits identical records).
+func TestForkFutures(t *testing.T) {
+	const seed = 7
+	snap := writeForkSnapshot(t, t.TempDir(), seed)
+
+	collect := func() []campaign.Record {
+		var recs []campaign.Record
+		err := campaign.Fork(snap, campaign.ForkOptions{Futures: 4}, func(rec campaign.Record) error {
+			recs = append(recs, rec)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+	recs := collect()
+	if len(recs) != 4 {
+		t.Fatalf("fork emitted %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Scenario != i {
+			t.Errorf("future %d: scenario index %d", i, rec.Scenario)
+		}
+		if rec.FaultCount != i+1 {
+			t.Errorf("future %d: fault count %d, want %d", i, rec.FaultCount, i+1)
+		}
+		if !rec.OK {
+			t.Errorf("future %d failed: %s", i, rec.Err)
+		}
+		if rec.N != recs[0].N || rec.M != recs[0].M || rec.Seed != recs[0].Seed {
+			t.Errorf("future %d restored a different world: n=%d m=%d seed=%d", i, rec.N, rec.M, rec.Seed)
+		}
+		if rec.RecoveryRounds <= 0 {
+			t.Errorf("future %d recorded no recovery rounds", i)
+		}
+	}
+	if again := collect(); !reflect.DeepEqual(again, recs) {
+		t.Fatal("re-forking the same snapshot produced different records")
+	}
+}
+
+// TestForkRejectsNonCheckpoint: a snapshot without a runmeta section (e.g.
+// a bare engine save) is refused with a diagnosable error.
+func TestForkRejectsNonCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bare.snap")
+	if err := os.WriteFile(path, []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := campaign.Fork(path, campaign.ForkOptions{Futures: 1}, nil); err == nil {
+		t.Fatal("fork accepted garbage bytes")
+	}
+}

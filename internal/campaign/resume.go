@@ -1,0 +1,105 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file makes campaign JSONL output crash- and cancel-safe. Records are
+// appended one fsynced line at a time, so an interrupted campaign (SIGKILL,
+// power loss, ^C mid-write) leaves at worst one torn trailing line on disk.
+// OpenResumable repairs exactly that: it truncates the file back to the last
+// complete record, indexes what survived, and hands the caller an
+// append-only log plus the set of scenarios already accounted for — so a
+// resumed campaign re-runs only the missing tail and the combined file is
+// byte-identical to an uninterrupted run (records stream in Index order, so
+// the survivors always form a prefix).
+
+// resumeKey identifies a completed record. Seed is part of the key: it
+// derives from the campaign seed, so resuming with a different -seed
+// matches nothing and re-runs everything rather than splicing two
+// incompatible campaigns into one file.
+type resumeKey struct {
+	index int
+	seed  int64
+}
+
+// ResumableLog is a crash-safe JSONL record log opened by OpenResumable.
+type ResumableLog struct {
+	f    *os.File
+	done map[resumeKey]bool
+
+	// Recovered is the number of complete records salvaged from the
+	// previous run; TruncatedBytes is the length of the torn tail dropped
+	// to get back to a record boundary (0 for a clean file).
+	Recovered      int
+	TruncatedBytes int
+}
+
+// OpenResumable opens (or creates) path as a resumable campaign log. The
+// existing content is scanned as JSONL records; everything after the last
+// complete, parseable record — a torn line from a mid-write crash — is
+// truncated away, and the file is left positioned for append.
+func OpenResumable(path string) (*ResumableLog, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &ResumableLog{f: f, done: make(map[resumeKey]bool)}
+	keep := 0
+	for keep < len(data) {
+		nl := bytes.IndexByte(data[keep:], '\n')
+		if nl < 0 {
+			break // torn tail: the crash hit mid-line
+		}
+		var rec Record
+		if err := json.Unmarshal(data[keep:keep+nl], &rec); err != nil {
+			break // torn or corrupt: truncate from here
+		}
+		l.done[resumeKey{index: rec.Scenario, seed: rec.Seed}] = true
+		l.Recovered++
+		keep += nl + 1
+	}
+	if keep < len(data) {
+		l.TruncatedBytes = len(data) - keep
+		if err := f.Truncate(int64(keep)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("campaign: truncate torn record: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(keep), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// Done reports whether sc already has a complete record in the log.
+func (l *ResumableLog) Done(sc Scenario) bool {
+	return l.done[resumeKey{index: sc.Index, seed: sc.Seed}]
+}
+
+// Append writes rec as one JSONL line and fsyncs it, so a later crash can
+// tear at most the line currently being written — exactly the damage
+// OpenResumable knows how to repair.
+func (l *ResumableLog) Append(rec Record) error {
+	if err := AppendJSONL(l.f, rec); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Close closes the underlying file.
+func (l *ResumableLog) Close() error { return l.f.Close() }

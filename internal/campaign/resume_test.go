@@ -1,0 +1,168 @@
+package campaign_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"thinunison/internal/campaign"
+	"thinunison/internal/graph"
+)
+
+// resumeScenarios is a small mixed campaign: enough scenarios that a crash
+// can land mid-stream, cheap enough to run twice in the test.
+func resumeScenarios(seed int64) []campaign.Scenario {
+	base := []campaign.Scenario{
+		{Family: graph.FamilyCycle, N: 10, Scheduler: campaign.Synchronous, Algorithm: campaign.AlgAU},
+		{Family: graph.FamilyStar, N: 9, Scheduler: campaign.RoundRobin, Algorithm: campaign.AlgAU, Faults: campaign.FaultSpec{Count: 2}},
+		{Family: graph.FamilyRandom, N: 12, Scheduler: campaign.RandomSubset, Algorithm: campaign.AlgAU},
+		{Family: graph.FamilyCycle, N: 8, Scheduler: campaign.Permuted, Algorithm: campaign.AlgAU, Trial: 1},
+		{Family: graph.FamilyStar, N: 11, Scheduler: campaign.Laggard, Algorithm: campaign.AlgAU},
+		{Family: graph.FamilyRandom, N: 10, Scheduler: campaign.Synchronous, Algorithm: campaign.AlgAU, Trial: 1},
+	}
+	return campaign.Finalize(seed, base)
+}
+
+// runJSONL runs scenarios through the runner, streaming records to a buffer
+// exactly as cmd/campaign does.
+func runJSONL(t *testing.T, scenarios []campaign.Scenario, sink func(campaign.Record) error) {
+	t.Helper()
+	var streamErr error
+	runner := &campaign.Runner{
+		Workers: 2,
+		OnRecord: func(rec campaign.Record) {
+			if streamErr == nil {
+				streamErr = sink(rec)
+			}
+		},
+	}
+	if _, err := runner.Run(context.Background(), scenarios); err != nil {
+		t.Fatal(err)
+	}
+	if streamErr != nil {
+		t.Fatal(streamErr)
+	}
+}
+
+// TestResumeAfterTornWrite is the kill-and-resume contract: a campaign
+// killed mid-write leaves a torn trailing JSONL line; OpenResumable must
+// truncate it back to the last complete record, report exactly the
+// scenarios that finished, and a resumed run over the remainder must leave
+// the file byte-identical to an uninterrupted campaign.
+func TestResumeAfterTornWrite(t *testing.T) {
+	const seed = 29
+	scenarios := resumeScenarios(seed)
+
+	// Reference: the uninterrupted campaign's bytes.
+	var want bytes.Buffer
+	runJSONL(t, scenarios, func(rec campaign.Record) error {
+		return campaign.AppendJSONL(&want, rec)
+	})
+	lines := bytes.SplitAfter(want.Bytes(), []byte("\n"))
+	lines = lines[:len(lines)-1] // SplitAfter leaves a trailing empty slice
+	if len(lines) != len(scenarios) {
+		t.Fatalf("reference run emitted %d records for %d scenarios", len(lines), len(scenarios))
+	}
+
+	// Simulate the kill: the first records landed whole, the next one tore
+	// halfway through the line.
+	const survived = 3
+	crash := filepath.Join(t.TempDir(), "campaign.jsonl")
+	var torn bytes.Buffer
+	for _, line := range lines[:survived] {
+		torn.Write(line)
+	}
+	frag := lines[survived]
+	torn.Write(frag[:len(frag)/2])
+	if err := os.WriteFile(crash, torn.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	log, err := campaign.OpenResumable(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.Recovered != survived {
+		t.Fatalf("recovered %d records, want %d", log.Recovered, survived)
+	}
+	if log.TruncatedBytes != len(frag)/2 {
+		t.Fatalf("truncated %d bytes, want %d", log.TruncatedBytes, len(frag)/2)
+	}
+	var rest []campaign.Scenario
+	for i, sc := range scenarios {
+		if done := log.Done(sc); done != (i < survived) {
+			t.Fatalf("scenario %d: Done=%v, want %v", i, done, i < survived)
+		} else if !done {
+			rest = append(rest, sc)
+		}
+	}
+
+	// Resume: run only the missing tail, appending to the repaired log.
+	runJSONL(t, rest, log.Append)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := os.ReadFile(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Fatalf("resumed file differs from uninterrupted run:\ngot:\n%s\nwant:\n%s", got, want.Bytes())
+	}
+
+	// Reopening the completed file finds everything done and nothing torn.
+	log2, err := campaign.OpenResumable(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if log2.Recovered != len(scenarios) || log2.TruncatedBytes != 0 {
+		t.Fatalf("clean reopen: recovered %d, truncated %d", log2.Recovered, log2.TruncatedBytes)
+	}
+	for _, sc := range scenarios {
+		if !log2.Done(sc) {
+			t.Fatalf("clean reopen: scenario %d not done", sc.Index)
+		}
+	}
+}
+
+// TestResumeSeedMismatch: records from a campaign with a different seed
+// must not satisfy Done — resuming under a new seed re-runs everything
+// instead of splicing two incompatible campaigns.
+func TestResumeSeedMismatch(t *testing.T) {
+	scenarios := resumeScenarios(29)
+	path := filepath.Join(t.TempDir(), "campaign.jsonl")
+	log, err := campaign.OpenResumable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runJSONL(t, scenarios, log.Append)
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	log2, err := campaign.OpenResumable(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	for _, sc := range resumeScenarios(31) {
+		if log2.Done(sc) {
+			t.Fatalf("scenario %d from a different campaign seed reported done", sc.Index)
+		}
+	}
+}
+
+// TestOpenResumableFresh: a nonexistent path opens clean.
+func TestOpenResumableFresh(t *testing.T) {
+	log, err := campaign.OpenResumable(filepath.Join(t.TempDir(), "new.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if log.Recovered != 0 || log.TruncatedBytes != 0 {
+		t.Fatalf("fresh log: recovered %d, truncated %d", log.Recovered, log.TruncatedBytes)
+	}
+}

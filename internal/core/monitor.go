@@ -7,6 +7,7 @@ import (
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
 	"thinunison/internal/sa"
+	"thinunison/internal/snapshot"
 )
 
 // Monitor checks, online, the run-time guarantees of AlgAU: the monotone
@@ -310,7 +311,14 @@ func (m *GoodMonitor) AttachShards(shardOf []int32, nshards int) {
 	m.shardOf = shardOf
 	m.bad = make([]int, nshards)
 	if !m.deferred {
-		m.recount()
+		if m.stale {
+			// After a batched word apply the turn mirror (level/faulty) lags
+			// the raw mirror; recounting from it would rebuild the per-shard
+			// counts against stale turns. Resync decodes from raw first.
+			m.resync()
+		} else {
+			m.recount()
+		}
 	}
 }
 
@@ -480,7 +488,15 @@ func (m *GoodMonitor) RewireEdge(u, v int, added bool) {
 		return
 	}
 	if m.stale {
-		m.resync()
+		// The counters lag a batched word apply, and the pending lazy resync
+		// recounts against the graph's CURRENT adjacency — which already
+		// includes this edge change (deltas commit before the rewire
+		// notifications fan out). Patching here would double-count the edge:
+		// once now, once in the recount. Worse, resyncing eagerly would
+		// incorporate the whole committed batch and then let the remaining
+		// RewireEdge deliveries of the same batch double-patch their edges.
+		// So a stale monitor must leave churn entirely to the resync.
+		return
 	}
 	uWasGood, vWasGood := m.nodeGood(u), m.nodeGood(v)
 	var d int32 = 1
@@ -658,4 +674,56 @@ func (m *GoodMonitor) BadNodesFast() int {
 		total += b
 	}
 	return total
+}
+
+// CheckpointState serializes the monitor for a step-boundary snapshot: the
+// raw configuration mirror, the regime flags (deferred / pending promotion /
+// stale word-batch counters / cached word verdict) and the deferred-regime
+// witness cache in its exact order. The derived incremental state — turn
+// mirror, violation counters, per-shard bad counts — is deliberately NOT
+// serialized: it is a pure function of (raw, current adjacency, shard
+// attachment) and is rebuilt on restore, which both shrinks snapshots and
+// makes a round-trip a cross-check of the incremental maintenance.
+func (m *GoodMonitor) CheckpointState() []byte {
+	var e snapshot.Enc
+	e.IntsFunc(len(m.raw), func(v int) int { return int(m.raw[v]) })
+	e.Bool(m.deferred)
+	e.Bool(m.promote)
+	e.Bool(m.stale)
+	e.Bool(m.wordOK.Load())
+	e.Ints(m.witnesses)
+	return e.Bytes()
+}
+
+// RestoreState restores a CheckpointState payload into a freshly constructed
+// monitor for the same algorithm and (restored) graph. An incremental-regime
+// monitor rebuilds its counters from the raw mirror against the current
+// adjacency; the stale flag is preserved so the verdict and resync behavior
+// of the restored run replays the saved one's exactly.
+func (m *GoodMonitor) RestoreState(data []byte) error {
+	d := snapshot.NewDec(data)
+	if n := d.Int(); n != len(m.raw) && d.Err() == nil {
+		return fmt.Errorf("core: monitor snapshot for %d nodes restored into %d", n, len(m.raw))
+	}
+	for v := range m.raw {
+		m.raw[v] = sa.State(d.Int())
+	}
+	deferred, promote, stale, wordOK := d.Bool(), d.Bool(), d.Bool(), d.Bool()
+	witnesses := d.Ints()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	m.deferred = deferred
+	m.promote = promote
+	m.witnesses = witnesses
+	m.wordOK.Store(wordOK)
+	if !m.deferred {
+		m.resync()
+	}
+	// resync clears stale; reinstate the saved flag afterwards. A restored
+	// stale monitor has exact counters already, so the extra lazy resync it
+	// will run on its next touch is idempotent — and keeping the flag keeps
+	// CheckpointState round-trips byte-identical.
+	m.stale = stale
+	return nil
 }

@@ -1,0 +1,290 @@
+package core_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/sa"
+)
+
+// badNodeCount is the brute-force oracle for BadNodes: a full NodeGood scan.
+func badNodeCount(au *core.AU, g *graph.Graph, cfg sa.Config) int {
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		if !au.NodeGood(g, cfg, v) {
+			total++
+		}
+	}
+	return total
+}
+
+// promote drives a fresh monitor out of the deferred regime: on a good
+// configuration the first Good() schedules the promotion and the second
+// performs it, leaving the incremental counters live.
+func promote(t *testing.T, mon *core.GoodMonitor) {
+	t.Helper()
+	if !mon.Good() || !mon.Good() {
+		t.Fatal("promotion config is not good")
+	}
+	if mon.BadNodesFast() != 0 {
+		t.Fatal("monitor did not promote to the incremental regime")
+	}
+}
+
+// toggleEdges stages ops random edge toggles on the delta (insert if absent,
+// delete if present), commits them in ONE batch, and fans the committed
+// changes out to the monitors exactly the way sim.ApplyDelta does: the graph
+// mutates first, then each RewireEdge is delivered.
+func toggleEdges(t *testing.T, g *graph.Graph, rng *rand.Rand, ops int, mons ...*core.GoodMonitor) {
+	t.Helper()
+	delta := graph.NewDelta(g)
+	for i := 0; i < ops; i++ {
+		u, v := rng.Intn(g.N()), rng.Intn(g.N())
+		if u == v {
+			continue
+		}
+		var err error
+		if delta.HasEdge(u, v) {
+			err = delta.DeleteEdge(u, v)
+		} else {
+			err = delta.InsertEdge(u, v)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	changes, _ := delta.Apply()
+	for _, c := range changes {
+		for _, mon := range mons {
+			mon.RewireEdge(c.U, c.V, c.Added)
+		}
+	}
+}
+
+// TestGoodMonitorStaleChurn is the regression test for the stale-counter
+// churn window: a batched word apply leaves the incremental counters lagging
+// the raw mirror (stale), and a topology batch landing in that window must
+// NOT patch the lagging counters — the pending lazy resync recounts against
+// the already-committed adjacency, so an eager patch (or an eager resync
+// inside the first RewireEdge of a multi-edge batch, which would let the
+// remaining deliveries double-patch) breaks the verdict. Every verdict is
+// cross-checked against the full-scan predicate.
+func TestGoodMonitorStaleChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g, err := graph.RandomConnected(16, 0.25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	able := au.MustState(core.Turn{Level: 1})
+	cfg := make(sa.Config, g.N())
+	for v := range cfg {
+		cfg[v] = able
+	}
+	mon := core.NewGoodMonitor(au, g, cfg)
+	promote(t, mon)
+
+	check := func(at string, round int) {
+		t.Helper()
+		if got, want := mon.Good(), au.GraphGood(g, cfg); got != want {
+			t.Fatalf("round %d, %s: Good()=%v, GraphGood=%v", round, at, got, want)
+		}
+		if got, want := mon.BadNodes(), badNodeCount(au, g, cfg); got != want {
+			t.Fatalf("round %d, %s: BadNodes()=%d, oracle=%d", round, at, got, want)
+		}
+	}
+
+	var changed []int
+	for round := 0; round < 60; round++ {
+		// Word batch: a handful of nodes change state at once; the monitor
+		// refreshes its raw mirror and goes stale.
+		changed = changed[:0]
+		for i := 0; i < 3+rng.Intn(4); i++ {
+			v := rng.Intn(g.N())
+			cfg[v] = rng.Intn(au.NumStates())
+			changed = append(changed, v)
+		}
+		mon.ApplyWordBatch(changed, cfg)
+
+		// Churn lands inside the stale window: a multi-edge batch commits,
+		// then its RewireEdge notifications fan out one by one.
+		toggleEdges(t, g, rng, 2+rng.Intn(3), mon)
+		check("stale churn", round)
+
+		// The verdict resynced the counters; churn the now-exact incremental
+		// monitor too, so both RewireEdge paths stay covered.
+		toggleEdges(t, g, rng, 1+rng.Intn(2), mon)
+		check("incremental churn", round)
+
+		// Every few rounds restore a good configuration through another word
+		// batch, so both verdict polarities recur throughout the run.
+		if round%7 == 6 {
+			changed = changed[:0]
+			for v := range cfg {
+				if cfg[v] != able {
+					cfg[v] = able
+					changed = append(changed, v)
+				}
+			}
+			mon.ApplyWordBatch(changed, cfg)
+			toggleEdges(t, g, rng, 2, mon)
+			check("heal", round)
+		}
+	}
+}
+
+// TestGoodMonitorStaleChurnOrdering pins the exact interleaving the bug
+// class hides in: word batch → several separately committed churn batches →
+// verdict, with no intermediate Good() call, so the monitor stays stale
+// across multiple RewireEdge deliveries before a single resync settles them.
+func TestGoodMonitorStaleChurnOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	g, err := graph.RandomConnected(12, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	able := au.MustState(core.Turn{Level: 1})
+	cfg := make(sa.Config, g.N())
+	for v := range cfg {
+		cfg[v] = able
+	}
+	mon := core.NewGoodMonitor(au, g, cfg)
+	promote(t, mon)
+
+	for trial := 0; trial < 40; trial++ {
+		batch := []int{rng.Intn(g.N()), rng.Intn(g.N())}
+		for _, v := range batch {
+			cfg[v] = rng.Intn(au.NumStates())
+		}
+		mon.ApplyWordBatch(batch, cfg)
+		// Two independent churn commits before anyone looks: the stale flag
+		// must survive both without repairing (or double-repairing) anything.
+		toggleEdges(t, g, rng, 3, mon)
+		toggleEdges(t, g, rng, 2, mon)
+		if got, want := mon.Good(), au.GraphGood(g, cfg); got != want {
+			t.Fatalf("trial %d: Good()=%v, GraphGood=%v", trial, got, want)
+		}
+	}
+}
+
+// TestGoodMonitorCheckpointRegimes round-trips CheckpointState/RestoreState
+// in all three regimes — deferred (with a populated witness cache),
+// incremental, and stale after a batched word apply — and verifies the
+// restored monitor is behaviorally indistinguishable: byte-identical
+// re-checkpoint, matching verdicts against the full-scan oracle, and
+// matching verdicts through a post-restore churn + word-batch continuation.
+func TestGoodMonitorCheckpointRegimes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g, err := graph.RandomConnected(14, 0.3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	able := au.MustState(core.Turn{Level: 1})
+
+	goodCfg := func() sa.Config {
+		cfg := make(sa.Config, g.N())
+		for v := range cfg {
+			cfg[v] = able
+		}
+		return cfg
+	}
+	badCfg := func(seed int64) sa.Config {
+		r := rand.New(rand.NewSource(seed))
+		cfg := make(sa.Config, g.N())
+		for v := range cfg {
+			cfg[v] = r.Intn(au.NumStates())
+		}
+		return cfg
+	}
+
+	roundTrip := func(t *testing.T, mon *core.GoodMonitor, cfg sa.Config) *core.GoodMonitor {
+		t.Helper()
+		state := mon.CheckpointState()
+		restored := core.NewGoodMonitor(au, g, goodCfg())
+		if err := restored.RestoreState(state); err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		if !bytes.Equal(restored.CheckpointState(), state) {
+			t.Fatal("re-checkpoint of restored monitor is not byte-identical")
+		}
+		if got, want := restored.BadNodes(), mon.BadNodes(); got != want {
+			t.Fatalf("restored BadNodes()=%d, original=%d", got, want)
+		}
+		return restored
+	}
+
+	// A continuation both monitors run in lockstep after the round-trip:
+	// churn, then a word batch, then verdicts — all against the oracle.
+	continuation := func(t *testing.T, a, b *core.GoodMonitor, cfg sa.Config, seed int64) {
+		t.Helper()
+		r := rand.New(rand.NewSource(seed))
+		toggleEdges(t, g, r, 3, a, b)
+		batch := []int{r.Intn(g.N()), r.Intn(g.N())}
+		for _, v := range batch {
+			cfg[v] = r.Intn(au.NumStates())
+		}
+		a.ApplyWordBatch(batch, cfg)
+		b.ApplyWordBatch(batch, cfg)
+		want := au.GraphGood(g, cfg)
+		if got := a.Good(); got != want {
+			t.Fatalf("original continuation: Good()=%v, GraphGood=%v", got, want)
+		}
+		if got := b.Good(); got != want {
+			t.Fatalf("restored continuation: Good()=%v, GraphGood=%v", got, want)
+		}
+	}
+
+	t.Run("deferred", func(t *testing.T) {
+		cfg := badCfg(5)
+		mon := core.NewGoodMonitor(au, g, cfg)
+		if mon.Good() {
+			t.Skip("random config happened to be good; pick another seed")
+		}
+		// The failed verdict populated the witness cache; it must survive the
+		// round-trip in its exact order.
+		restored := roundTrip(t, mon, cfg)
+		continuation(t, mon, restored, cfg, 51)
+	})
+
+	t.Run("incremental", func(t *testing.T) {
+		cfg := goodCfg()
+		mon := core.NewGoodMonitor(au, g, cfg)
+		promote(t, mon)
+		for i := 0; i < 4; i++ {
+			v := rng.Intn(g.N())
+			cfg[v] = rng.Intn(au.NumStates())
+			mon.Apply(v, cfg[v])
+		}
+		restored := roundTrip(t, mon, cfg)
+		continuation(t, mon, restored, cfg, 52)
+	})
+
+	t.Run("stale", func(t *testing.T) {
+		cfg := goodCfg()
+		mon := core.NewGoodMonitor(au, g, cfg)
+		promote(t, mon)
+		batch := []int{1, 3, 5}
+		for _, v := range batch {
+			cfg[v] = rng.Intn(au.NumStates())
+		}
+		mon.ApplyWordBatch(batch, cfg)
+		// Checkpoint taken inside the stale window: the flag must round-trip
+		// so the restored run's resync schedule replays the original's.
+		restored := roundTrip(t, mon, cfg)
+		continuation(t, mon, restored, cfg, 53)
+	})
+}

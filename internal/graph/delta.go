@@ -331,6 +331,52 @@ func (d *Delta) DiameterBounds() (lower, upper int) {
 // over the delta's lifetime.
 func (d *Delta) Applied() int { return d.applied }
 
+// CheckpointCrashes exports the crash bookkeeping for snapshots: the sorted
+// crashed node set and, aligned with it, each crashed node's saved adjacency
+// (sorted). The saved lists are semantically sets — Revive re-stages each
+// saved edge through the symmetric override map — so sorting them changes
+// nothing about a restored delta's behavior while making snapshots
+// deterministic. The delta must have no staged operations (snapshots are
+// taken at step boundaries, after Apply); CheckpointCrashes panics
+// otherwise, because staged overrides are deliberately not serialized.
+func (d *Delta) CheckpointCrashes() (crashed []NodeID, saved [][]NodeID) {
+	if d.Pending() != 0 {
+		panic("graph: CheckpointCrashes with staged operations")
+	}
+	crashed = make([]NodeID, 0, len(d.crashed))
+	for v := range d.crashed {
+		crashed = append(crashed, v)
+	}
+	sort.Ints(crashed)
+	saved = make([][]NodeID, len(crashed))
+	for i, v := range crashed {
+		saved[i] = append([]NodeID(nil), d.saved[v]...)
+		sort.Ints(saved[i])
+	}
+	return crashed, saved
+}
+
+// RestoreCrashes is the inverse of CheckpointCrashes: it reinstates the
+// crash bookkeeping (crashed set, saved adjacency, lifetime applied counter)
+// into a fresh delta over the restored — already crash-compacted — graph.
+func (d *Delta) RestoreCrashes(crashed []NodeID, saved [][]NodeID, applied int) error {
+	if len(d.crashed) != 0 || d.Pending() != 0 || d.applied != 0 {
+		return fmt.Errorf("graph: RestoreCrashes on a non-fresh delta")
+	}
+	if len(saved) != len(crashed) {
+		return fmt.Errorf("graph: %d saved lists for %d crashed nodes", len(saved), len(crashed))
+	}
+	for i, v := range crashed {
+		if v < 0 || v >= d.g.n {
+			return &OutOfRangeError{ID: v, N: d.g.n}
+		}
+		d.crashed[v] = true
+		d.saved[v] = append([]NodeID(nil), saved[i]...)
+	}
+	d.applied = applied
+	return nil
+}
+
 // Apply commits the staged batch: the base graph's CSR arrays are rebuilt in
 // place to the merged view. It returns the committed edge changes (sorted by
 // (U, V), deletions and insertions interleaved) and the touched nodes (the

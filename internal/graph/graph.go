@@ -137,6 +137,53 @@ func New(n int, edges [][2]NodeID) (*Graph, error) {
 	return b.Build(), nil
 }
 
+// FromCSR reconstructs a graph directly from its compressed-sparse-row
+// adjacency (the inverse of CSR), validating shape: offsets must be a
+// non-decreasing [0..2m] ramp of length n+1 and every adjacency list must be
+// sorted, self-loop-free and in range. It exists for checkpoint restore
+// (internal/snapshot), where a saved graph — possibly mutated mid-run by
+// Delta churn, so not reproducible from any family builder — must come back
+// byte-identical. The slices are copied; the caller keeps ownership.
+//
+// Symmetry of the adjacency relation is the caller's contract (a snapshot
+// written from a real Graph always satisfies it); validating it here would
+// double restore cost for no new information.
+func FromCSR(n int, offsets []int, neighbors []NodeID) (*Graph, error) {
+	if n <= 0 {
+		return nil, ErrEmptyGraph
+	}
+	if len(offsets) != n+1 || offsets[0] != 0 || offsets[n] != len(neighbors) || len(neighbors)%2 != 0 {
+		return nil, fmt.Errorf("graph: malformed CSR (%d offsets, %d adjacency entries)", len(offsets), len(neighbors))
+	}
+	g := &Graph{
+		n:         n,
+		m:         len(neighbors) / 2,
+		offsets:   make([]int, n+1),
+		neighbors: make([]NodeID, len(neighbors)),
+	}
+	copy(g.offsets, offsets)
+	copy(g.neighbors, neighbors)
+	for v := 0; v < n; v++ {
+		if offsets[v+1] < offsets[v] {
+			return nil, fmt.Errorf("graph: CSR offsets decrease at node %d", v)
+		}
+		prev := -1
+		for _, w := range g.Neighbors(v) {
+			if w < 0 || w >= n {
+				return nil, &OutOfRangeError{ID: w, N: n}
+			}
+			if w == v {
+				return nil, ErrSelfLoop
+			}
+			if w <= prev {
+				return nil, fmt.Errorf("graph: adjacency of node %d unsorted or duplicated", v)
+			}
+			prev = w
+		}
+	}
+	return g, nil
+}
+
 // N returns the number of nodes.
 func (g *Graph) N() int { return g.n }
 

@@ -1,0 +1,85 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"thinunison/internal/obs"
+)
+
+// TestDumpFirstWriteWins pins the flight recorder's failure-attribution
+// contract when two failure reasons race to dump the same tracer (budget
+// exhaustion on the driving goroutine vs an oracle mismatch on a checker):
+// exactly one dump is written — the first CAS winner — and later calls are
+// silent no-ops, so the flight file never interleaves two snapshots of one
+// ring. Runs under -race in CI (obs is on the race-detector package list).
+func TestDumpFirstWriteWins(t *testing.T) {
+	const racers = 8
+	tr := obs.NewTracer(16, 0, nil)
+	tr.SetSnapshotRef("run-7.snap")
+	for step := int64(1); step <= 16; step++ {
+		if err := tr.Observe(obs.Sample{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	lw := &obs.LockedWriter{W: &bytes.Buffer{}}
+	reasons := []string{"budget exhausted at round 40", "oracle mismatch at step 633"}
+	var (
+		start sync.WaitGroup
+		done  sync.WaitGroup
+		gate  = make(chan struct{})
+	)
+	for i := 0; i < racers; i++ {
+		start.Add(1)
+		done.Add(1)
+		go func(reason string) {
+			defer done.Done()
+			start.Done()
+			<-gate
+			if err := tr.Dump(lw, reason); err != nil {
+				t.Error(err)
+			}
+		}(reasons[i%len(reasons)])
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+
+	out := lw.W.(*bytes.Buffer).String()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 17 {
+		t.Fatalf("flight file has %d lines, want 17 (one header + 16 samples):\n%s", len(lines), out)
+	}
+	var header struct {
+		Flight   string `json:"flight"`
+		Samples  int    `json:"samples"`
+		Snapshot string `json:"snapshot"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header: %v", err)
+	}
+	if header.Flight != reasons[0] && header.Flight != reasons[1] {
+		t.Fatalf("header reason %q is neither racer's", header.Flight)
+	}
+	if header.Samples != 16 {
+		t.Fatalf("header samples = %d, want 16", header.Samples)
+	}
+	// The dump must carry the engine checkpoint reference, making the
+	// recorded window replayable: restore run-7.snap, re-run to the failure.
+	if header.Snapshot != "run-7.snap" {
+		t.Fatalf("header snapshot = %q, want run-7.snap", header.Snapshot)
+	}
+
+	// A later, unraced Dump on the same tracer is also a no-op.
+	var late bytes.Buffer
+	if err := tr.Dump(&late, "third reason"); err != nil {
+		t.Fatal(err)
+	}
+	if late.Len() != 0 {
+		t.Fatalf("post-race Dump wrote %d bytes, want 0", late.Len())
+	}
+}

@@ -192,6 +192,33 @@ func (s Snapshot) Trajectory() Snapshot {
 	return s
 }
 
+// SnapshotWords is the number of counters in a Snapshot's flat word vector.
+const SnapshotWords = 20
+
+// Words flattens the snapshot into a fixed-order word vector, the
+// serialization interchange form used by engine checkpoints. Keep the order
+// in sync with SnapshotFromWords.
+func (s Snapshot) Words() [SnapshotWords]uint64 {
+	return [SnapshotWords]uint64{
+		s.Steps, s.Rounds, s.Activated, s.Evaluated, s.Changes,
+		s.TransAA, s.TransAF, s.TransFA, s.CoinDraws, s.Settled,
+		s.FrontierSkips, s.FrontierSize, s.WordSteps, s.MonitorPromotions,
+		s.BoundaryApplies, s.Repartitions, s.ChurnApplied, s.ChurnSkipped,
+		s.Faults, s.BudgetExhausted,
+	}
+}
+
+// SnapshotFromWords is the inverse of Snapshot.Words.
+func SnapshotFromWords(w [SnapshotWords]uint64) Snapshot {
+	return Snapshot{
+		Steps: w[0], Rounds: w[1], Activated: w[2], Evaluated: w[3], Changes: w[4],
+		TransAA: w[5], TransAF: w[6], TransFA: w[7], CoinDraws: w[8], Settled: w[9],
+		FrontierSkips: w[10], FrontierSize: w[11], WordSteps: w[12], MonitorPromotions: w[13],
+		BoundaryApplies: w[14], Repartitions: w[15], ChurnApplied: w[16], ChurnSkipped: w[17],
+		Faults: w[18], BudgetExhausted: w[19],
+	}
+}
+
 // Add accumulates a snapshot into the metric set. Campaign-level
 // aggregates use this to fold per-run snapshots into a whole-campaign
 // view (gauges become sums; document accordingly).

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Sample is one per-step snapshot captured by a Tracer. Cheap fields
@@ -114,6 +115,18 @@ type Tracer struct {
 	// the sample by value: a pointer signature would make every observed
 	// sample escape to the heap and cost the hot path 1 alloc/step.
 	Enrich func(Sample) Sample
+
+	// dumped arms Dump's first-write-wins gate: when two failure reasons
+	// race to dump the same tracer (budget exhaustion on the driving
+	// goroutine vs an oracle mismatch on a checker), exactly one dump — the
+	// first — is written, so the flight file attributes the failure to one
+	// reason instead of interleaving two snapshots of the same ring.
+	dumped atomic.Bool
+
+	// snapRef, when set via SetSnapshotRef, names the engine checkpoint
+	// taken alongside the run; Dump stamps it into the header so a flight
+	// recording is replayable (restore the snapshot, re-run the window).
+	snapRef atomic.Pointer[string]
 }
 
 // DefaultRing is the flight-recorder depth used when callers pass
@@ -169,19 +182,39 @@ func (t *Tracer) Ring() []Sample {
 	return out
 }
 
+// SetSnapshotRef records the path (or other identifier) of an engine
+// checkpoint associated with this run; Dump includes it in the flight
+// header so the dumped window is replayable: restore the snapshot and
+// re-run to the failing step. Safe for concurrent use with Dump.
+func (t *Tracer) SetSnapshotRef(ref string) { t.snapRef.Store(&ref) }
+
 // Dump writes the flight recording — a reason header followed by the
 // retained samples as JSONL, oldest first — to w. Called on differential
 // divergence, budget exhaustion, or monitor-oracle mismatch to turn
 // "diverged at step k" into an actionable trace.
+//
+// Dump is first-write-wins: when two failure reasons race (e.g. budget
+// exhaustion vs oracle mismatch reporting the same doomed run), only the
+// first call writes; later calls are no-ops returning nil. One tracer
+// belongs to one run, so one flight recording per run is the useful
+// semantics — two interleaved dumps of the same ring would attribute one
+// failure to two reasons.
 func (t *Tracer) Dump(w io.Writer, reason string) error {
+	if !t.dumped.CompareAndSwap(false, true) {
+		return nil
+	}
 	// The whole dump is staged and written in one Write call, so dumps
 	// from concurrent runs sharing a LockedWriter never interleave.
 	var buf bytes.Buffer
 	header := struct {
-		Flight  string `json:"flight"`
-		Samples int    `json:"samples"`
-		Total   uint64 `json:"total_steps_observed"`
+		Flight   string `json:"flight"`
+		Samples  int    `json:"samples"`
+		Total    uint64 `json:"total_steps_observed"`
+		Snapshot string `json:"snapshot,omitempty"`
 	}{Flight: reason, Samples: t.Len(), Total: t.total}
+	if ref := t.snapRef.Load(); ref != nil {
+		header.Snapshot = *ref
+	}
 	enc := json.NewEncoder(&buf)
 	if err := enc.Encode(header); err != nil {
 		return fmt.Errorf("obs: flight header: %w", err)

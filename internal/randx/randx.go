@@ -64,8 +64,9 @@ func (s *Seq) Int63() int64 { return int64(s.Uint64() >> 1) }
 // the coordinator drains them with Take once per step, turning per-draw
 // bookkeeping into an O(P) flush.
 type Counting struct {
-	src rand.Source64
-	n   uint64
+	src   rand.Source64
+	n     uint64
+	total uint64 // lifetime draws, never reset — the stream cursor
 }
 
 // NewCounting returns a counting wrapper around src.
@@ -74,12 +75,14 @@ func NewCounting(src rand.Source64) *Counting { return &Counting{src: src} }
 // Uint64 implements rand.Source64.
 func (c *Counting) Uint64() uint64 {
 	c.n++
+	c.total++
 	return c.src.Uint64()
 }
 
 // Int63 implements rand.Source.
 func (c *Counting) Int63() int64 {
 	c.n++
+	c.total++
 	return c.src.Int63()
 }
 
@@ -91,6 +94,30 @@ func (c *Counting) Take() uint64 {
 	n := c.n
 	c.n = 0
 	return n
+}
+
+// Total returns the lifetime draw count: the stream cursor. Unlike the
+// Take-drained per-step tally, it never resets, so it identifies the exact
+// position of the wrapped source within its stream. Every draw routed
+// through the wrapper — Int63 or Uint64 alike — advances the wrapped source
+// by exactly one internal step (math/rand's generators derive Int63 from the
+// same single advance), which is what makes FastForward exact.
+func (c *Counting) Total() uint64 { return c.total }
+
+// Pending returns the draws since the last Take without resetting them.
+func (c *Counting) Pending() uint64 { return c.n }
+
+// FastForward advances the wrapped source by total draws and sets the
+// cursor accordingly, leaving pending un-Taken draws at pending. It is the
+// restore half of checkpointing: recreate the source from its seed, fast
+// forward to the saved Total, and every subsequent draw reproduces the
+// original stream exactly — no reaching into the generator's internal state.
+func (c *Counting) FastForward(total, pending uint64) {
+	for i := uint64(0); i < total; i++ {
+		c.src.Uint64()
+	}
+	c.total = total
+	c.n = pending
 }
 
 // PartialShuffle maintains *buf as a permutation of 0..n-1 and runs the

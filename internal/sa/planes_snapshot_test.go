@@ -1,0 +1,131 @@
+package sa_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/sa"
+	"thinunison/internal/snapshot"
+)
+
+// savePlanes serializes a bit-plane configuration the way the word-parallel
+// engine checkpoint does: dimensions, then each plane's raw words.
+func savePlanes(p *sa.Planes) []byte {
+	var e snapshot.Enc
+	e.Int(p.N())
+	e.Int(p.NumStates())
+	e.Int(p.Width())
+	for b := 0; b < p.Width(); b++ {
+		e.U64s(p.Plane(b))
+	}
+	return e.Bytes()
+}
+
+// restorePlanes rebuilds a Planes from savePlanes output.
+func restorePlanes(t *testing.T, data []byte) *sa.Planes {
+	t.Helper()
+	d := snapshot.NewDec(data)
+	n, states, width := d.Int(), d.Int(), d.Int()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p := sa.NewPlanes(n, states)
+	if p.Width() != width {
+		t.Fatalf("restored width %d, saved %d", p.Width(), width)
+	}
+	for b := 0; b < width; b++ {
+		words := d.U64s()
+		if len(words) != p.Words() {
+			t.Fatalf("plane %d has %d words, want %d", b, len(words), p.Words())
+		}
+		copy(p.Plane(b), words)
+	}
+	if err := d.Done(); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestPlanesSnapshotIdentity: restore(save(planes)) is the identity at the
+// word-boundary state counts |Q| ∈ {63, 64, 65} — where the plane width
+// steps from 6 to 7 bits — and at node counts straddling the 64-node word
+// boundary. Identity means: equal raw plane words, equal Unpack, equal Get,
+// and equal derived GEMask planes (so a restored word engine computes the
+// exact masks the saved one would have).
+func TestPlanesSnapshotIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for _, numStates := range []int{63, 64, 65} {
+		for _, n := range []int{1, 63, 64, 65, 130} {
+			cfg := make(sa.Config, n)
+			for v := range cfg {
+				cfg[v] = rng.Intn(numStates)
+			}
+			p := sa.NewPlanes(n, numStates)
+			p.Pack(cfg)
+
+			q := restorePlanes(t, savePlanes(p))
+			if q.N() != n || q.NumStates() != numStates {
+				t.Fatalf("|Q|=%d n=%d: dimensions diverged (%d, %d)", numStates, n, q.N(), q.NumStates())
+			}
+			for b := 0; b < p.Width(); b++ {
+				a, bb := p.Plane(b), q.Plane(b)
+				for w := range a {
+					if a[w] != bb[w] {
+						t.Fatalf("|Q|=%d n=%d: plane %d word %d diverged", numStates, n, b, w)
+					}
+				}
+			}
+			out := make(sa.Config, n)
+			q.Unpack(out)
+			for v := range cfg {
+				if out[v] != cfg[v] {
+					t.Fatalf("|Q|=%d n=%d: node %d unpacked %d, want %d", numStates, n, v, out[v], cfg[v])
+				}
+				if q.Get(v) != cfg[v] {
+					t.Fatalf("|Q|=%d n=%d: Get(%d) = %d, want %d", numStates, n, v, q.Get(v), cfg[v])
+				}
+			}
+			// Derived planes must match at every threshold near the top of
+			// the state space (the faulty-plane thresholds word engines use).
+			maskA := make([]uint64, p.Words())
+			maskB := make([]uint64, q.Words())
+			for _, thr := range []int{0, 1, numStates / 2, numStates - 1} {
+				p.GEMask(thr, maskA)
+				q.GEMask(thr, maskB)
+				for w := range maskA {
+					if maskA[w] != maskB[w] {
+						t.Fatalf("|Q|=%d n=%d: GEMask(%d) word %d diverged", numStates, n, thr, w)
+					}
+				}
+			}
+		}
+	}
+}
+
+// FuzzPlanesSnapshot extends the identity to arbitrary seeds and dimensions
+// around the boundaries.
+func FuzzPlanesSnapshot(f *testing.F) {
+	f.Add(int64(1), 63, 65)
+	f.Add(int64(2), 64, 64)
+	f.Add(int64(3), 65, 1)
+	f.Fuzz(func(t *testing.T, seed int64, numStates, n int) {
+		if numStates < 1 || numStates > 130 || n < 0 || n > 300 {
+			t.Skip()
+		}
+		rng := rand.New(rand.NewSource(seed))
+		cfg := make(sa.Config, n)
+		for v := range cfg {
+			cfg[v] = rng.Intn(numStates)
+		}
+		p := sa.NewPlanes(n, numStates)
+		p.Pack(cfg)
+		q := restorePlanes(t, savePlanes(p))
+		out := make(sa.Config, n)
+		q.Unpack(out)
+		for v := range cfg {
+			if out[v] != cfg[v] {
+				t.Fatalf("seed %d |Q|=%d n=%d: node %d", seed, numStates, n, v)
+			}
+		}
+	})
+}

@@ -12,6 +12,9 @@ package sched
 import (
 	"fmt"
 	"math/rand"
+
+	"thinunison/internal/randx"
+	"thinunison/internal/snapshot"
 )
 
 // Scheduler chooses the activation set for each step. Implementations decide
@@ -65,6 +68,33 @@ type Coverage struct {
 type SparseActivator interface {
 	Scheduler
 	SparseActivations(t, n int, f Frontier) (eval []int, cov Coverage)
+}
+
+// Checkpointer is an optional Scheduler extension for engines that support
+// checkpoint/restore (sim.SaveState): schedulers whose activation choices
+// depend on internal mutable state expose that state as an opaque payload.
+// Restoring the payload into a freshly constructed scheduler of the same
+// kind and parameters makes its future activation sequence byte-identical
+// to the saved run's.
+//
+// Stateless schedulers (Synchronous, RoundRobin, Laggard, Scripted — whose
+// activations are pure functions of the step index and construction
+// parameters) deliberately do not implement the interface; engines simply
+// skip the scheduler section for them. The stateful schedulers implement it
+// only when built through their seeded constructors (NewRandomSubsetSeeded,
+// NewPermutedSeeded), because an externally supplied *rand.Rand cannot be
+// serialized without reaching into the generator's internals.
+type Checkpointer interface {
+	Scheduler
+
+	// CheckpointState serializes the scheduler's mutable state. It fails if
+	// the scheduler was built around an external rng it cannot reposition.
+	CheckpointState() ([]byte, error)
+
+	// RestoreState restores a payload from CheckpointState into this
+	// scheduler, which must have been constructed with the same parameters
+	// (including the seed) as the saved one.
+	RestoreState(data []byte) error
 }
 
 // Synchronous activates every node at every step: A_t = V, so R(i) = i.
@@ -133,6 +163,11 @@ type RandomSubset struct {
 	rng    *rand.Rand
 	last   []int
 	buf    []int
+
+	// seed/coin are set by NewRandomSubsetSeeded only: the internally owned
+	// counted source that makes the scheduler checkpointable.
+	seed int64
+	coin *randx.Counting
 }
 
 // NewRandomSubset returns a random-subset scheduler with inclusion
@@ -143,6 +178,19 @@ func NewRandomSubset(p float64, maxGap int, rng *rand.Rand) *RandomSubset {
 		maxGap = 64
 	}
 	return &RandomSubset{p: p, maxGap: maxGap, rng: rng}
+}
+
+// NewRandomSubsetSeeded is the checkpointable variant of NewRandomSubset:
+// the scheduler owns its rng (seeded from seed, draw-counted so checkpoints
+// can record the exact stream position). The counting wrapper is a
+// pass-through, so the activation sequence is byte-identical to
+// NewRandomSubset(p, maxGap, rand.New(rand.NewSource(seed))).
+func NewRandomSubsetSeeded(p float64, maxGap int, seed int64) *RandomSubset {
+	s := NewRandomSubset(p, maxGap, nil)
+	s.seed = seed
+	s.coin = randx.NewCounting(rand.NewSource(seed).(rand.Source64))
+	s.rng = rand.New(s.coin)
+	return s
 }
 
 // Activations implements Scheduler.
@@ -171,6 +219,41 @@ func (s *RandomSubset) Activations(t int, n int) []int {
 
 // Name implements Scheduler.
 func (s *RandomSubset) Name() string { return fmt.Sprintf("random-subset(p=%.2f)", s.p) }
+
+// CheckpointState implements Checkpointer for seeded schedulers: it records
+// the rng stream cursor and the per-node starvation gaps.
+func (s *RandomSubset) CheckpointState() ([]byte, error) {
+	if s.coin == nil {
+		return nil, fmt.Errorf("sched: random-subset built around an external rng is not checkpointable; use NewRandomSubsetSeeded")
+	}
+	var e snapshot.Enc
+	e.I64(s.seed)
+	e.U64(s.coin.Total())
+	e.U64(s.coin.Pending())
+	e.Ints(s.last)
+	return e.Bytes(), nil
+}
+
+// RestoreState implements Checkpointer; the receiver must come from
+// NewRandomSubsetSeeded with the same seed as the saved scheduler.
+func (s *RandomSubset) RestoreState(data []byte) error {
+	if s.coin == nil {
+		return fmt.Errorf("sched: random-subset built around an external rng is not restorable; use NewRandomSubsetSeeded")
+	}
+	d := snapshot.NewDec(data)
+	seed := d.I64()
+	total, pending := d.U64(), d.U64()
+	last := d.Ints()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	if seed != s.seed {
+		return fmt.Errorf("sched: random-subset snapshot for seed %d restored into seed %d", seed, s.seed)
+	}
+	s.coin.FastForward(total, pending)
+	s.last = last
+	return nil
+}
 
 // Laggard activates all nodes except one designated laggard every step; the
 // laggard runs only once every period steps. This is a classic adversarial
@@ -286,10 +369,50 @@ type Permuted struct {
 	rng  *rand.Rand
 	perm []int
 	buf  [1]int
+
+	// seed/coin are set by NewPermutedSeeded only: the internally owned
+	// counted source that makes the scheduler checkpointable.
+	seed int64
+	coin *randx.Counting
 }
 
 // NewPermuted returns the per-round random permutation scheduler.
 func NewPermuted(rng *rand.Rand) *Permuted { return &Permuted{rng: rng} }
+
+// ByName builds the named CLI scheduler from a base seed — the recipe book
+// shared by the unisonsim checkpoint path and campaign fork mode. A
+// snapshot's runmeta section records only (name, seed); every consumer must
+// rebuild the scheduler through this one mapping, or the restored
+// scheduler's stream will not line up with the checkpointed cursor. The
+// stochastic entries use the seeded constructors, so everything ByName
+// returns is checkpointable.
+func ByName(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case "sync":
+		return NewSynchronous(), nil
+	case "rr":
+		return NewRoundRobin(), nil
+	case "random":
+		return NewRandomSubsetSeeded(0.4, 16, seed+1), nil
+	case "laggard":
+		return NewLaggard(0, 4), nil
+	case "permuted":
+		return NewPermutedSeeded(seed + 2), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown scheduler %q", name)
+	}
+}
+
+// NewPermutedSeeded is the checkpointable variant of NewPermuted: the
+// scheduler owns its rng (seeded from seed, draw-counted so checkpoints can
+// record the exact stream position). The counting wrapper is a pass-through,
+// so the activation sequence is byte-identical to
+// NewPermuted(rand.New(rand.NewSource(seed))).
+func NewPermutedSeeded(seed int64) *Permuted {
+	s := &Permuted{seed: seed, coin: randx.NewCounting(rand.NewSource(seed).(rand.Source64))}
+	s.rng = rand.New(s.coin)
+	return s
+}
 
 // Activations implements Scheduler.
 func (s *Permuted) Activations(t int, n int) []int {
@@ -317,6 +440,41 @@ func (s *Permuted) reshuffle() {
 
 // Name implements Scheduler.
 func (s *Permuted) Name() string { return "permuted" }
+
+// CheckpointState implements Checkpointer for seeded schedulers: it records
+// the rng stream cursor and the current mid-cycle permutation.
+func (s *Permuted) CheckpointState() ([]byte, error) {
+	if s.coin == nil {
+		return nil, fmt.Errorf("sched: permuted built around an external rng is not checkpointable; use NewPermutedSeeded")
+	}
+	var e snapshot.Enc
+	e.I64(s.seed)
+	e.U64(s.coin.Total())
+	e.U64(s.coin.Pending())
+	e.Ints(s.perm)
+	return e.Bytes(), nil
+}
+
+// RestoreState implements Checkpointer; the receiver must come from
+// NewPermutedSeeded with the same seed as the saved scheduler.
+func (s *Permuted) RestoreState(data []byte) error {
+	if s.coin == nil {
+		return fmt.Errorf("sched: permuted built around an external rng is not restorable; use NewPermutedSeeded")
+	}
+	d := snapshot.NewDec(data)
+	seed := d.I64()
+	total, pending := d.U64(), d.U64()
+	perm := d.Ints()
+	if err := d.Done(); err != nil {
+		return err
+	}
+	if seed != s.seed {
+		return fmt.Errorf("sched: permuted snapshot for seed %d restored into seed %d", seed, s.seed)
+	}
+	s.coin.FastForward(total, pending)
+	s.perm = perm
+	return nil
+}
 
 // boundaryWindow is the number of recent round boundaries a RoundTracker
 // retains. The history used to grow without bound — one int per completed
@@ -442,3 +600,55 @@ func (t *RoundTracker) Boundary(i int) int {
 
 // Steps returns the number of steps observed so far.
 func (t *RoundTracker) Steps() int { return t.stepsSeen }
+
+// CheckpointState serializes the tracker — round count, step count, the
+// in-progress round's activation stamps, and the retained boundary ring —
+// so a restored tracker continues the round operator exactly where the
+// saved one stopped, including Boundary queries over the retained window.
+//
+// The per-node stamps are normalized to booleans (activated in the current
+// round or not), which is the only property Observe reads; the absolute
+// stamp value is an implementation detail of the zero-free reset.
+func (t *RoundTracker) CheckpointState() []byte {
+	var e snapshot.Enc
+	e.Int(t.n)
+	e.Int(t.rounds)
+	e.Int(t.stepsSeen)
+	e.Int(t.remaining)
+	e.Int(t.pending)
+	e.IntsFunc(t.n, func(v int) int {
+		if t.seen[v] == t.stamp {
+			return 1
+		}
+		return 0
+	})
+	e.Ints(t.boundary)
+	return e.Bytes()
+}
+
+// RestoreRoundTracker rebuilds a tracker for n nodes from CheckpointState.
+func RestoreRoundTracker(n int, data []byte) (*RoundTracker, error) {
+	d := snapshot.NewDec(data)
+	if sn := d.Int(); sn != n && d.Err() == nil {
+		return nil, fmt.Errorf("sched: tracker snapshot for %d nodes restored into %d", sn, n)
+	}
+	t := NewRoundTracker(n)
+	t.rounds = d.Int()
+	t.stepsSeen = d.Int()
+	t.remaining = d.Int()
+	t.pending = d.Int()
+	got := d.IntsFunc(func(v, on int) {
+		if v < n && on != 0 {
+			t.seen[v] = t.stamp
+		}
+	})
+	boundary := d.Ints()
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if got != n || len(boundary) != boundaryWindow {
+		return nil, fmt.Errorf("sched: corrupt tracker snapshot (%d stamps, %d boundaries)", got, len(boundary))
+	}
+	copy(t.boundary, boundary)
+	return t, nil
+}

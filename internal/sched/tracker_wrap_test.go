@@ -1,0 +1,157 @@
+package sched_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/sched"
+)
+
+// TestRoundTrackerWrapStress drives a tracker well past the boundaryWindow
+// ring capacity with variable-length rounds (mixed Observe / ObserveAllBut /
+// ObserveFull streams, so boundaries are NOT the degenerate R(i) = i of the
+// synchronous schedule) and checks every retained boundary against an
+// unbounded reference history after the ring has wrapped multiple times. A
+// checkpoint/restore lands mid-stream AFTER the first wrap; the restored
+// tracker must serve the identical retained window and continue the round
+// operator in lockstep with the original.
+func TestRoundTrackerWrapStress(t *testing.T) {
+	const (
+		n            = 5
+		targetRounds = 9000 // > 2× boundaryWindow: the ring wraps twice
+		window       = 4096 // must mirror sched.boundaryWindow
+	)
+	rng := rand.New(rand.NewSource(71))
+	tr := sched.NewRoundTracker(n)
+	var restored *sched.RoundTracker
+
+	// Unbounded reference: boundaries[i] = R(i), grown by a model that
+	// declares a round complete exactly when all n nodes have been activated
+	// since the previous boundary.
+	boundaries := []int{0}
+	seen := make([]bool, n)
+	covered := 0
+	steps := 0
+	observe := func(activated []int) {
+		steps++
+		for _, v := range activated {
+			if !seen[v] {
+				seen[v] = true
+				covered++
+			}
+		}
+		if covered == n {
+			boundaries = append(boundaries, steps)
+			for v := range seen {
+				seen[v] = false
+			}
+			covered = 0
+		}
+	}
+
+	all := make([]int, n)
+	for v := range all {
+		all[v] = v
+	}
+	allBut := func(v int) []int {
+		out := make([]int, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				out = append(out, u)
+			}
+		}
+		return out
+	}
+
+	checkWindow := func(at string, trk *sched.RoundTracker) {
+		t.Helper()
+		if trk.Rounds() != len(boundaries)-1 {
+			t.Fatalf("%s: Rounds=%d, reference=%d", at, trk.Rounds(), len(boundaries)-1)
+		}
+		if trk.Steps() != steps {
+			t.Fatalf("%s: Steps=%d, reference=%d", at, trk.Steps(), steps)
+		}
+		oldest := trk.Rounds() - window + 1
+		if oldest < 0 {
+			oldest = 0
+		}
+		for _, i := range []int{trk.Rounds(), trk.Rounds() - 1, trk.Rounds() - window/2, oldest} {
+			if i < oldest || i < 0 {
+				continue
+			}
+			if got, want := trk.Boundary(i), boundaries[i]; got != want {
+				t.Fatalf("%s: Boundary(%d)=%d, reference=%d (rounds=%d)", at, i, got, want, trk.Rounds())
+			}
+		}
+	}
+
+	for tr.Rounds() < targetRounds {
+		switch rng.Intn(4) {
+		case 0:
+			tr.ObserveFull()
+			if restored != nil {
+				restored.ObserveFull()
+			}
+			observe(all)
+		case 1:
+			v := rng.Intn(n)
+			tr.ObserveAllBut(v)
+			if restored != nil {
+				restored.ObserveAllBut(v)
+			}
+			observe(allBut(v))
+		default:
+			// A random nonempty subset: rounds stretch across several steps,
+			// so boundary values drift away from the round index.
+			var subset []int
+			for v := 0; v < n; v++ {
+				if rng.Intn(2) == 0 {
+					subset = append(subset, v)
+				}
+			}
+			if len(subset) == 0 {
+				subset = []int{rng.Intn(n)}
+			}
+			tr.Observe(subset)
+			if restored != nil {
+				restored.Observe(subset)
+			}
+			observe(subset)
+		}
+
+		if tr.Rounds()%512 == 0 {
+			checkWindow("stream", tr)
+		}
+
+		// Checkpoint once, after the first wrap, mid-round if the stream
+		// happens to be there — the in-progress activation stamps must
+		// round-trip too.
+		if restored == nil && tr.Rounds() == window+700 {
+			state := tr.CheckpointState()
+			var err error
+			restored, err = sched.RestoreRoundTracker(n, state)
+			if err != nil {
+				t.Fatalf("restore: %v", err)
+			}
+			checkWindow("restored", restored)
+		}
+	}
+	checkWindow("final/original", tr)
+	if restored == nil {
+		t.Fatal("checkpoint point was never reached")
+	}
+	checkWindow("final/restored", restored)
+
+	// Spot-check the eviction edge after the second wrap: one past the
+	// retained window must panic on both trackers.
+	for name, trk := range map[string]*sched.RoundTracker{"original": tr, "restored": restored} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: Boundary of an evicted round did not panic", name)
+				}
+			}()
+			trk.Boundary(trk.Rounds() - window)
+		}()
+	}
+}

@@ -102,6 +102,53 @@ func NewPartition(g *graph.Graph, p int) *Partition {
 	return pt
 }
 
+// NewPartitionFromStarts rebuilds a partition of g with explicit shard
+// bounds, the restore half of checkpointing: a snapshot records only the
+// bounds (see Starts), because the classification tables are a pure function
+// of (bounds, current adjacency). Mid-run bounds are NOT derivable from the
+// restored graph — a threshold-triggered repartition may have moved them off
+// the fresh NewPartition cut — so they must be carried explicitly for a
+// restored sharded run to stay byte-identical in layout-sensitive state
+// (per-shard frontier words, goodness slabs, observer counters).
+func NewPartitionFromStarts(g *graph.Graph, starts []int) (*Partition, error) {
+	n := g.N()
+	p := len(starts) - 1
+	if p < 1 || starts[0] != 0 || starts[p] != n {
+		return nil, fmt.Errorf("shard: bad shard bounds %v for %d nodes", starts, n)
+	}
+	pt := &Partition{
+		g:        g,
+		starts:   make([]int, p+1),
+		shardOf:  make([]int32, n),
+		interior: make([]bool, n),
+		boundary: make([][]int, p),
+	}
+	copy(pt.starts, starts)
+	for s := 0; s < p; s++ {
+		if starts[s+1] <= starts[s] {
+			return nil, fmt.Errorf("shard: empty or unordered shard %d in bounds %v", s, starts)
+		}
+		for v := starts[s]; v < starts[s+1]; v++ {
+			pt.shardOf[v] = int32(s)
+		}
+	}
+	for u := 0; u < n; u++ {
+		s := pt.shardOf[u]
+		inter := true
+		for _, w := range g.Neighbors(u) {
+			if pt.shardOf[w] != s {
+				inter = false
+				break
+			}
+		}
+		pt.interior[u] = inter
+		if !inter {
+			pt.boundary[s] = append(pt.boundary[s], u)
+		}
+	}
+	return pt, nil
+}
+
 // P returns the number of shards.
 func (pt *Partition) P() int { return len(pt.boundary) }
 

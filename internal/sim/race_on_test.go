@@ -1,0 +1,6 @@
+//go:build race
+
+package sim_test
+
+// raceEnabled relaxes wall-clock test budgets under the race detector.
+const raceEnabled = true

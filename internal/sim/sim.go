@@ -29,6 +29,15 @@
 // the shard classification in the same motion — see churn.go and
 // Engine.ApplyDelta. Churn draws from its own rng, so churn runs remain
 // byte-identical across all execution modes.
+//
+// Every mode combination is checkpointable: Engine.SaveState serializes the
+// full run state at a step boundary (configuration, churned topology,
+// frontier bitset, partition bounds, word slabs, round tracker, rng stream
+// cursors, churn bookkeeping, scheduler position) and Restore rebuilds an
+// engine in a fresh process that continues the run byte-identically — run K
+// steps, snapshot, restore, run K more ≡ an uninterrupted 2K-step run, in
+// every mode × parallelism × churn cell. See snapshot.go; the campaign
+// -restore-check guard enforces the contract in CI.
 package sim
 
 import (
@@ -121,6 +130,7 @@ type Engine struct {
 	mx     *obs.Metrics
 	tracer *obs.Tracer
 	coin   *randx.Counting // classic-mode rng draw counter; nil if unavailable
+	seed   int64           // Options.Seed, retained for checkpointing
 
 	// stepAct/stepEval/stepChg are the current step's tallies, filled by the
 	// step bodies and flushed into mx (and the tracer sample) once per step.
@@ -280,12 +290,21 @@ type Options struct {
 	// byte-identical across execution modes (dense/frontier, any
 	// Parallelism) exactly like churn-free runs.
 	Churn *ChurnSpec
+
+	// restoring is set only by Restore. A snapshot taken while churn crash
+	// victims are down carries a CSR with those victims isolated — a graph
+	// the engine handles fine mid-run (KeepConnected guards alive-subgraph
+	// connectivity only) but full-graph Validate would reject. Restore
+	// validates the alive subgraph against the crash set itself.
+	restoring bool
 }
 
 // New returns an engine for alg on g.
 func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
-	if err := g.Validate(); err != nil {
-		return nil, err
+	if !opts.restoring {
+		if err := g.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	s := opts.Scheduler
 	if s == nil {
@@ -327,6 +346,7 @@ func New(g *graph.Graph, alg sa.Algorithm, opts Options) (*Engine, error) {
 		mx:      opts.Metrics,
 		tracer:  opts.Trace,
 		coin:    coin,
+		seed:    opts.Seed,
 	}
 	if e.mx == nil {
 		e.mx = &obs.Metrics{}

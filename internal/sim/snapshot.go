@@ -1,0 +1,540 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"thinunison/internal/frontier"
+	"thinunison/internal/graph"
+	"thinunison/internal/obs"
+	"thinunison/internal/sa"
+	"thinunison/internal/sched"
+	"thinunison/internal/shard"
+	"thinunison/internal/snapshot"
+)
+
+// This file is the engine checkpoint: SaveState serializes the full run
+// state at a step boundary and Restore rebuilds an engine in a fresh process
+// that continues the run byte-identically — run K steps, snapshot, restore,
+// run K more, and the trajectory (configurations, rounds, churn, metrics,
+// coin streams) matches an uninterrupted 2K-step run exactly, in every
+// execution mode (dense/frontier/word, any Parallelism, with or without
+// churn). The campaign -restore-check differential enforces the contract.
+//
+// The serialization strategy avoids reaching into generator internals:
+// every rng the trajectory depends on is wrapped in a randx.Counting
+// pass-through, so a checkpoint stores only (seed, draw cursor) and restore
+// fast-forwards a fresh source. Derived state that is a pure function of
+// the serialized state (self-words, partition classification tables,
+// signal scratch) is rebuilt rather than stored — the rebuild doubles as a
+// cross-check that the primary state round-tripped.
+
+// engineSection is the section name of the engine's own state inside the
+// snapshot container; caller extras must use different names.
+const engineSection = "engine"
+
+// RestoreOptions carries the pieces of an engine that cannot be serialized
+// and must be re-supplied at restore time.
+type RestoreOptions struct {
+	// Scheduler must be constructed exactly as the checkpointed engine's
+	// scheduler was (same kind, same parameters, same seed). Stateless
+	// schedulers (Synchronous, RoundRobin, Laggard, Scripted) need nothing
+	// more; stateful ones must implement sched.Checkpointer — use the
+	// seeded constructors (sched.NewRandomSubsetSeeded, NewPermutedSeeded)
+	// — and are rewound to their checkpointed stream position. nil selects
+	// the synchronous scheduler, matching New.
+	Scheduler sched.Scheduler
+
+	// Metrics, when non-nil, receives the engine's counters; the saved
+	// snapshot is accumulated into it, so a zero-valued set reproduces the
+	// checkpointed counts exactly. nil allocates a private set, like New.
+	Metrics *obs.Metrics
+
+	// Trace attaches a step tracer, exactly as Options.Trace. The ring
+	// content of the original tracer is not part of the checkpoint.
+	Trace *obs.Tracer
+}
+
+// SaveState writes a restorable checkpoint of the engine to w, plus any
+// caller-provided extra sections (e.g. a core.GoodMonitor's CheckpointState
+// under its own name). It must be called between steps, on the goroutine
+// driving the engine — the same discipline as SetState — so the staged
+// scratch is empty and every draw cursor sits at a step boundary.
+func (e *Engine) SaveState(w io.Writer, extras ...snapshot.Section) error {
+	if e.coin == nil {
+		return fmt.Errorf("sim: engine rng source is not checkpointable")
+	}
+	var enc snapshot.Enc
+
+	// Identity and position.
+	n := e.g.N()
+	enc.Int(n)
+	enc.Int(e.g.M())
+	enc.Int(e.alg.NumStates())
+	enc.Int(e.step)
+	enc.I64(e.seed)
+
+	// Topology: the current CSR arrays (the graph may have churned away
+	// from whatever the caller originally built).
+	offsets, neighbors := e.g.CSR()
+	enc.Ints(offsets)
+	enc.Ints(neighbors)
+
+	// Configuration and the classic rng stream cursor.
+	enc.IntsFunc(n, func(i int) int { return int(e.cfg[i]) })
+	enc.U64(e.coin.Total())
+	enc.U64(e.coin.Pending())
+	enc.Ints(e.faultBuf)
+
+	// Round tracking.
+	enc.Blob(e.tracker.CheckpointState())
+
+	// Mode flags.
+	p := 0
+	if e.par != nil {
+		p = e.par.part.P()
+	}
+	enc.Bool(e.fr != nil)
+	enc.Int(p)
+	enc.Bool(e.wr != nil)
+	enc.Bool(e.churn != nil)
+
+	if e.fr != nil {
+		enc.Ints(e.fr.set.AppendTo(nil))
+	}
+	if e.par != nil {
+		enc.Ints(e.par.part.Starts())
+		enc.Int(e.par.churnAccum)
+	}
+	if e.wr != nil {
+		// The goodness slabs are serialized raw: stale bits of unevaluated
+		// frontier nodes are trajectory-visible through certification, so
+		// they cannot be rebuilt from the configuration. Self-words can.
+		enc.Bool(e.wr.certified)
+		enc.Int(len(e.wr.slabs))
+		for _, slab := range e.wr.slabs {
+			enc.U64s(slab)
+		}
+	}
+	if e.churn != nil {
+		if err := encodeChurn(&enc, e.churn); err != nil {
+			return err
+		}
+	}
+
+	// Scheduler stream, when the scheduler is stateful.
+	if cp, ok := e.sched.(sched.Checkpointer); ok {
+		state, err := cp.CheckpointState()
+		if err != nil {
+			return fmt.Errorf("sim: scheduler checkpoint: %w", err)
+		}
+		enc.Bool(true)
+		enc.Blob(state)
+	} else {
+		enc.Bool(false)
+	}
+
+	words := e.mx.Snapshot().Words()
+	enc.U64s(words[:])
+
+	sections := append([]snapshot.Section{{Name: engineSection, Data: enc.Bytes()}}, extras...)
+	return snapshot.Write(w, sections)
+}
+
+// Restore reads a checkpoint written by SaveState and rebuilds the engine:
+// same algorithm, same topology, same configuration, every draw cursor
+// fast-forwarded to its saved position. The returned extras map holds the
+// caller sections passed to SaveState (the engine's own section removed), so
+// callers can rebuild observers — e.g. a core.GoodMonitor from the restored
+// configuration plus its saved CheckpointState — and re-register them via
+// Observe before stepping.
+func Restore(r io.Reader, alg sa.Algorithm, opts RestoreOptions) (*Engine, map[string][]byte, error) {
+	sections, err := snapshot.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, ok := sections[engineSection]
+	if !ok {
+		return nil, nil, fmt.Errorf("sim: snapshot has no %q section", engineSection)
+	}
+	d := snapshot.NewDec(data)
+
+	n := d.Int()
+	m := d.Int()
+	numStates := d.Int()
+	step := d.Int()
+	seed := d.I64()
+	offsets := d.Ints()
+	neighbors := d.Ints()
+	if err := d.Err(); err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot header: %w", err)
+	}
+	if numStates != alg.NumStates() {
+		return nil, nil, fmt.Errorf("sim: snapshot has %d states but algorithm has %d", numStates, alg.NumStates())
+	}
+	g, err := graph.FromCSR(n, offsets, neighbors)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot graph: %w", err)
+	}
+	if g.M() != m {
+		return nil, nil, fmt.Errorf("sim: snapshot graph has %d edges, header says %d", g.M(), m)
+	}
+
+	cfg := make(sa.Config, n)
+	got := d.IntsFunc(func(i, v int) {
+		if i < n {
+			cfg[i] = sa.State(v)
+		}
+	})
+	if got != n && d.Err() == nil {
+		return nil, nil, fmt.Errorf("sim: snapshot configuration has %d states for %d nodes", got, n)
+	}
+	coinTotal := d.U64()
+	coinPending := d.U64()
+	faultBuf := d.Ints()
+	trackerState := d.Blob()
+
+	hasFr := d.Bool()
+	p := d.Int()
+	hasWord := d.Bool()
+	hasChurn := d.Bool()
+
+	var frMembers []int
+	if hasFr {
+		frMembers = d.Ints()
+	}
+	var starts []int
+	churnAccum := 0
+	if p >= 1 {
+		starts = d.Ints()
+		churnAccum = d.Int()
+	}
+	var certified bool
+	var slabs [][]uint64
+	if hasWord {
+		certified = d.Bool()
+		slabs = make([][]uint64, 0, 8)
+		nslabs := d.Int()
+		if d.Err() == nil && (nslabs < 0 || nslabs > n+1) {
+			return nil, nil, fmt.Errorf("sim: snapshot slab count %d out of range", nslabs)
+		}
+		for i := 0; i < nslabs && d.Err() == nil; i++ {
+			slabs = append(slabs, d.U64s())
+		}
+	}
+	var churnState *churnCheckpoint
+	if hasChurn {
+		churnState, err = decodeChurn(d)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	hasSched := d.Bool()
+	var schedState []byte
+	if hasSched {
+		schedState = d.Blob()
+	}
+	mwords := d.U64s()
+	if d.Err() == nil && len(mwords) != obs.SnapshotWords {
+		return nil, nil, fmt.Errorf("sim: snapshot has %d metric words, want %d", len(mwords), obs.SnapshotWords)
+	}
+	if err := d.Done(); err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot engine section: %w", err)
+	}
+
+	var spec *ChurnSpec
+	var crashed []graph.NodeID
+	if churnState != nil {
+		spec = &churnState.spec
+		crashed = churnState.crashed
+	}
+	// A snapshot taken while churn crash victims are down is legitimately
+	// disconnected — the victims sit isolated in the CSR until revival, and
+	// the KeepConnected guard only ever protected the alive subgraph. So
+	// validate connectivity over the alive nodes, not the whole graph.
+	if err := validateAliveCSR(g, crashed); err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot graph: %w", err)
+	}
+	e, err := New(g, alg, Options{
+		Initial:      cfg,
+		Scheduler:    opts.Scheduler,
+		Seed:         seed,
+		Parallelism:  p,
+		Frontier:     hasFr,
+		WordParallel: hasWord,
+		Metrics:      opts.Metrics,
+		Trace:        opts.Trace,
+		Churn:        spec,
+		restoring:    true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ok = false
+	defer func() {
+		if !ok {
+			e.Close()
+		}
+	}()
+
+	// Mode capabilities must have survived: a snapshot of a frontier (or
+	// word) run cannot continue on an algorithm lacking the capability.
+	if hasFr && e.fr == nil {
+		return nil, nil, fmt.Errorf("sim: snapshot is frontier-sparse but algorithm lacks sa.SelfLooper")
+	}
+	if hasWord && e.wr == nil {
+		return nil, nil, fmt.Errorf("sim: snapshot is word-parallel but algorithm offers no kernel")
+	}
+
+	// Rewind every stream to its saved cursor. New drew nothing (Initial
+	// was non-nil), so the fresh coin sits at position 0 as FastForward
+	// requires.
+	e.coin.FastForward(coinTotal, coinPending)
+	e.step = step
+	e.faultBuf = faultBuf
+
+	tracker, err := sched.RestoreRoundTracker(n, trackerState)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sim: snapshot round tracker: %w", err)
+	}
+	e.tracker = tracker
+
+	if e.par != nil {
+		// The saved partition bounds are NOT derivable from the restored
+		// graph: a mid-run repartition reflects churn history. Rebuild the
+		// classification tables under the saved bounds.
+		part, err := shard.NewPartitionFromStarts(g, starts)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sim: snapshot partition: %w", err)
+		}
+		if part.P() != e.par.part.P() {
+			return nil, nil, fmt.Errorf("sim: snapshot partition has %d shards, engine built %d", part.P(), e.par.part.P())
+		}
+		e.par.part = part
+		e.par.churnAccum = churnAccum
+	}
+	if e.fr != nil {
+		// New filled the frontier (fresh runs start all-dirty); rebuild it
+		// to hold exactly the saved members under the restored partition.
+		if e.par != nil {
+			e.fr.set = frontier.NewSharded(n, e.par.part.Starts(), e.par.part.ShardIndex())
+		} else {
+			e.fr.set = frontier.New(n)
+		}
+		for _, v := range frMembers {
+			if v < 0 || v >= n {
+				return nil, nil, fmt.Errorf("sim: snapshot frontier member %d out of range", v)
+			}
+			e.fr.set.Add(v)
+		}
+	}
+	if e.wr != nil {
+		// Re-carve the slabs for the restored partition, then overwrite the
+		// goodness bits with the saved plane (refreshSlab recomputed them
+		// from the configuration, which is stricter than the per-eval
+		// invariant allows for unevaluated frontier nodes).
+		e.wr.rebuildSlabs(e)
+		if len(slabs) != len(e.wr.slabs) {
+			return nil, nil, fmt.Errorf("sim: snapshot has %d word slabs, engine carved %d", len(slabs), len(e.wr.slabs))
+		}
+		for s, slab := range slabs {
+			if len(slab) != len(e.wr.slabs[s]) {
+				return nil, nil, fmt.Errorf("sim: snapshot word slab %d has %d words, engine carved %d", s, len(slab), len(e.wr.slabs[s]))
+			}
+			copy(e.wr.slabs[s], slab)
+		}
+		e.wr.certified = certified
+	}
+	if churnState != nil {
+		if err := churnState.restoreInto(e.churn); err != nil {
+			return nil, nil, err
+		}
+	}
+	if hasSched {
+		cp, okc := e.sched.(sched.Checkpointer)
+		if !okc {
+			return nil, nil, fmt.Errorf("sim: snapshot has scheduler state but scheduler %T is not a sched.Checkpointer", e.sched)
+		}
+		if err := cp.RestoreState(schedState); err != nil {
+			return nil, nil, fmt.Errorf("sim: scheduler restore: %w", err)
+		}
+	}
+	e.mx.Add(obs.SnapshotFromWords([obs.SnapshotWords]uint64(mwords)))
+
+	delete(sections, engineSection)
+	ok = true
+	return e, sections, nil
+}
+
+// validateAliveCSR checks the restored topology the way the running engine
+// maintains it: crash victims must be fully detached, and the subgraph
+// induced by the alive nodes must be connected.
+func validateAliveCSR(g *graph.Graph, crashed []graph.NodeID) error {
+	n := g.N()
+	down := make([]bool, n)
+	for _, v := range crashed {
+		if v < 0 || v >= n {
+			return fmt.Errorf("crashed node %d out of range [0, %d)", v, n)
+		}
+		if len(g.Neighbors(v)) != 0 {
+			return fmt.Errorf("crashed node %d still has %d edges", v, len(g.Neighbors(v)))
+		}
+		down[v] = true
+	}
+	root := -1
+	alive := 0
+	for v := 0; v < n; v++ {
+		if !down[v] {
+			alive++
+			if root < 0 {
+				root = v
+			}
+		}
+	}
+	if root < 0 {
+		return fmt.Errorf("all %d nodes are crashed", n)
+	}
+	seen := make([]bool, n)
+	seen[root] = true
+	queue := []int{root}
+	reached := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(v) {
+			if !seen[w] {
+				seen[w] = true
+				reached++
+				queue = append(queue, w)
+			}
+		}
+	}
+	if reached != alive {
+		return graph.ErrDisconnected
+	}
+	return nil
+}
+
+// churnCheckpoint is the decoded churn section: the full spec (events are
+// already in the runtime's sorted order) plus the runtime cursors.
+type churnCheckpoint struct {
+	spec    ChurnSpec
+	next    int
+	events  int
+	skipped int
+	victims []int
+	total   uint64
+	pending uint64
+	applied int
+	crashed []graph.NodeID
+	saved   [][]graph.NodeID
+}
+
+// encodeChurn serializes the churn driver: the spec (so restore needs no
+// out-of-band copy), the stochastic stream cursor, and the pending-revive /
+// crash bookkeeping. The staged delta must be empty — checkpoints happen at
+// step boundaries, after applyChurn committed everything due.
+func encodeChurn(enc *snapshot.Enc, cr *churnRuntime) error {
+	if cr.delta.Pending() != 0 {
+		return fmt.Errorf("sim: cannot checkpoint with %d staged churn changes", cr.delta.Pending())
+	}
+	s := &cr.spec
+	enc.Int(len(s.Events))
+	for _, ev := range s.Events {
+		enc.Int(ev.Step)
+		enc.Int(len(ev.Ops))
+		for _, op := range ev.Ops {
+			enc.Int(int(op.Kind))
+			enc.Int(op.U)
+			enc.Int(op.V)
+		}
+	}
+	enc.Int(s.Period)
+	enc.Int(s.Flips)
+	enc.Int(s.Crashes)
+	enc.Int(s.MaxEvents)
+	enc.I64(s.Seed)
+	enc.Bool(s.KeepConnected)
+	enc.Int(s.MaxDiameterUpper)
+
+	enc.Int(cr.next)
+	enc.Int(cr.events)
+	enc.Int(cr.skipped)
+	enc.Ints(cr.victims)
+	enc.U64(cr.coin.Total())
+	enc.U64(cr.coin.Pending())
+
+	crashed, saved := cr.delta.CheckpointCrashes()
+	enc.Int(cr.delta.Applied())
+	enc.Ints(crashed)
+	enc.Int(len(saved))
+	for _, adj := range saved {
+		enc.Ints(adj)
+	}
+	return nil
+}
+
+func decodeChurn(d *snapshot.Dec) (*churnCheckpoint, error) {
+	var c churnCheckpoint
+	nev := d.Int()
+	if d.Err() == nil && (nev < 0 || nev > 1<<24) {
+		return nil, fmt.Errorf("sim: snapshot churn event count %d out of range", nev)
+	}
+	for i := 0; i < nev && d.Err() == nil; i++ {
+		ev := ChurnEvent{Step: d.Int()}
+		nops := d.Int()
+		if d.Err() == nil && (nops < 0 || nops > 1<<24) {
+			return nil, fmt.Errorf("sim: snapshot churn op count %d out of range", nops)
+		}
+		for j := 0; j < nops && d.Err() == nil; j++ {
+			ev.Ops = append(ev.Ops, ChurnOp{Kind: ChurnOpKind(d.Int()), U: d.Int(), V: d.Int()})
+		}
+		c.spec.Events = append(c.spec.Events, ev)
+	}
+	c.spec.Period = d.Int()
+	c.spec.Flips = d.Int()
+	c.spec.Crashes = d.Int()
+	c.spec.MaxEvents = d.Int()
+	c.spec.Seed = d.I64()
+	c.spec.KeepConnected = d.Bool()
+	c.spec.MaxDiameterUpper = d.Int()
+
+	c.next = d.Int()
+	c.events = d.Int()
+	c.skipped = d.Int()
+	c.victims = d.Ints()
+	c.total = d.U64()
+	c.pending = d.U64()
+
+	c.applied = d.Int()
+	c.crashed = d.Ints()
+	nsaved := d.Int()
+	if d.Err() == nil && (nsaved < 0 || nsaved > 1<<24) {
+		return nil, fmt.Errorf("sim: snapshot churn saved-adjacency count %d out of range", nsaved)
+	}
+	for i := 0; i < nsaved && d.Err() == nil; i++ {
+		c.saved = append(c.saved, d.Ints())
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("sim: snapshot churn section: %w", err)
+	}
+	return &c, nil
+}
+
+// restoreInto rewinds a freshly constructed churn runtime (built by New from
+// the decoded spec) to the checkpointed cursors.
+func (c *churnCheckpoint) restoreInto(cr *churnRuntime) error {
+	if cr == nil {
+		return fmt.Errorf("sim: snapshot has churn state but engine built no churn runtime")
+	}
+	cr.next = c.next
+	cr.events = c.events
+	cr.skipped = c.skipped
+	cr.victims = append(cr.victims[:0], c.victims...)
+	cr.coin.FastForward(c.total, c.pending)
+	if err := cr.delta.RestoreCrashes(c.crashed, c.saved, c.applied); err != nil {
+		return fmt.Errorf("sim: snapshot churn crashes: %w", err)
+	}
+	return nil
+}
+

@@ -1,0 +1,346 @@
+// Package snapshot is the versioned binary container format for engine
+// checkpoints: step-boundary serializations of a full run state that restore
+// byte-identically in a fresh process (see sim.SaveState / sim.Restore).
+//
+// A snapshot is a sequence of named, length-prefixed sections behind a magic
+// header. Sections keep layers independent: each stateful layer (config,
+// rng cursors, round tracker, frontier, partition, word slabs, churn,
+// metrics, monitor) owns one section and encodes it with the fixed-width
+// little-endian primitives of Enc/Dec. Unknown sections are preserved by
+// Read so callers can attach their own (e.g. a monitor state or run
+// metadata) without the container caring.
+//
+// The format favors simplicity and restore speed over size: fixed-width
+// integers, no compression, whole-snapshot reads. A 10^5-node AU snapshot is
+// a few MB and round-trips in well under a second.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Version is the container format version, bumped on incompatible layout
+// changes. Readers reject snapshots from a different version rather than
+// guessing: a checkpoint is a correctness artifact, not a best-effort cache.
+const Version = 1
+
+// magic identifies a snapshot stream ("ThinUnison SNAPshot").
+var magic = [8]byte{'T', 'U', 'S', 'N', 'A', 'P', '0', '1'}
+
+// maxSectionSize bounds a single section (1 GiB) so a corrupt length prefix
+// fails fast instead of attempting a huge allocation.
+const maxSectionSize = 1 << 30
+
+// Section is one named payload of a snapshot.
+type Section struct {
+	Name string
+	Data []byte
+}
+
+// Write emits the container: magic, version, section count, then each
+// section as (name length, name, payload length, payload), all fixed-width
+// little-endian.
+func Write(w io.Writer, sections []Section) error {
+	var hdr [20]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:12], Version)
+	binary.LittleEndian.PutUint64(hdr[12:20], uint64(len(sections)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("snapshot: write header: %w", err)
+	}
+	var pfx [12]byte
+	for _, s := range sections {
+		if len(s.Name) == 0 || len(s.Name) > 255 {
+			return fmt.Errorf("snapshot: bad section name %q", s.Name)
+		}
+		binary.LittleEndian.PutUint32(pfx[:4], uint32(len(s.Name)))
+		binary.LittleEndian.PutUint64(pfx[4:12], uint64(len(s.Data)))
+		if _, err := w.Write(pfx[:]); err != nil {
+			return fmt.Errorf("snapshot: write section %s: %w", s.Name, err)
+		}
+		if _, err := io.WriteString(w, s.Name); err != nil {
+			return fmt.Errorf("snapshot: write section %s: %w", s.Name, err)
+		}
+		if _, err := w.Write(s.Data); err != nil {
+			return fmt.Errorf("snapshot: write section %s: %w", s.Name, err)
+		}
+	}
+	return nil
+}
+
+// Read parses a container written by Write, returning the sections by name.
+// It validates magic and version and rejects truncated or oversized input.
+func Read(r io.Reader) (map[string][]byte, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("snapshot: read header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, fmt.Errorf("snapshot: bad magic (not a snapshot file)")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:12]); v != Version {
+		return nil, fmt.Errorf("snapshot: format version %d, want %d", v, Version)
+	}
+	count := binary.LittleEndian.Uint64(hdr[12:20])
+	if count > 1<<16 {
+		return nil, fmt.Errorf("snapshot: implausible section count %d", count)
+	}
+	out := make(map[string][]byte, count)
+	var pfx [12]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(r, pfx[:]); err != nil {
+			return nil, fmt.Errorf("snapshot: read section prefix: %w", err)
+		}
+		nameLen := binary.LittleEndian.Uint32(pfx[:4])
+		dataLen := binary.LittleEndian.Uint64(pfx[4:12])
+		if nameLen == 0 || nameLen > 255 || dataLen > maxSectionSize {
+			return nil, fmt.Errorf("snapshot: corrupt section prefix (name %d, data %d)", nameLen, dataLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("snapshot: read section name: %w", err)
+		}
+		data := make([]byte, dataLen)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("snapshot: read section %s: %w", name, err)
+		}
+		if _, dup := out[string(name)]; dup {
+			return nil, fmt.Errorf("snapshot: duplicate section %s", name)
+		}
+		out[string(name)] = data
+	}
+	return out, nil
+}
+
+// Enc builds a section payload out of fixed-width little-endian primitives.
+// The zero value is ready to use.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U64 appends one unsigned 64-bit word.
+func (e *Enc) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// I64 appends one signed 64-bit word.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// Int appends one int as a 64-bit word.
+func (e *Enc) Int(v int) { e.U64(uint64(int64(v))) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	e.buf = append(e.buf, b)
+}
+
+// U64s appends a length-prefixed []uint64.
+func (e *Enc) U64s(v []uint64) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.U64(x)
+	}
+}
+
+// Ints appends a length-prefixed []int.
+func (e *Enc) Ints(v []int) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// IntsFunc appends n ints produced by f(0..n-1), length-prefixed; it lets
+// callers serialize []NodeID / []sa.State slices without an intermediate
+// []int copy.
+func (e *Enc) IntsFunc(n int, f func(i int) int) {
+	e.Int(n)
+	for i := 0; i < n; i++ {
+		e.Int(f(i))
+	}
+}
+
+// Int32s appends a length-prefixed []int32.
+func (e *Enc) Int32s(v []int32) {
+	e.Int(len(v))
+	for _, x := range v {
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, uint32(x))
+	}
+}
+
+// Blob appends a length-prefixed byte blob.
+func (e *Enc) Blob(v []byte) {
+	e.Int(len(v))
+	e.buf = append(e.buf, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Enc) String(s string) {
+	e.Int(len(s))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec reads back what Enc wrote. Errors are sticky: after the first
+// malformed read every getter returns a zero value, and Err reports the
+// failure, so decode paths can run straight-line and check once.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Err returns the first decode error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Done reports an error unless the payload was consumed exactly.
+func (d *Dec) Done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("snapshot: %d trailing bytes in section", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Dec) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("snapshot: truncated section (offset %d of %d)", d.off, len(d.buf))
+	}
+}
+
+// U64 reads one unsigned 64-bit word.
+func (d *Dec) U64() uint64 {
+	if d.err != nil || d.off+8 > len(d.buf) {
+		d.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I64 reads one signed 64-bit word.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Int reads one int-sized word.
+func (d *Dec) Int() int { return int(d.I64()) }
+
+// Bool reads one boolean byte.
+func (d *Dec) Bool() bool {
+	if d.err != nil || d.off >= len(d.buf) {
+		d.fail()
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b != 0
+}
+
+// length reads a non-negative length prefix bounded by the remaining bytes
+// divided by elemSize, guarding against corrupt prefixes.
+func (d *Dec) length(elemSize int) int {
+	n := d.Int()
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || (elemSize > 0 && n > (len(d.buf)-d.off)/elemSize) {
+		if d.err == nil {
+			d.err = fmt.Errorf("snapshot: corrupt length prefix %d", n)
+		}
+		return 0
+	}
+	return n
+}
+
+// U64s reads a length-prefixed []uint64.
+func (d *Dec) U64s() []uint64 {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = d.U64()
+	}
+	return v
+}
+
+// Ints reads a length-prefixed []int.
+func (d *Dec) Ints() []int {
+	n := d.length(8)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = d.Int()
+	}
+	return v
+}
+
+// IntsFunc reads a length-prefixed int sequence through f, the mirror of
+// Enc.IntsFunc.
+func (d *Dec) IntsFunc(f func(i, v int)) int {
+	n := d.length(8)
+	if d.err != nil {
+		return 0
+	}
+	for i := 0; i < n; i++ {
+		f(i, d.Int())
+	}
+	return n
+}
+
+// Int32s reads a length-prefixed []int32.
+func (d *Dec) Int32s() []int32 {
+	n := d.length(4)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		if d.off+4 > len(d.buf) {
+			d.fail()
+			return nil
+		}
+		v[i] = int32(binary.LittleEndian.Uint32(d.buf[d.off:]))
+		d.off += 4
+	}
+	return v
+}
+
+// Blob reads a length-prefixed byte blob (a copy).
+func (d *Dec) Blob() []byte {
+	n := d.length(1)
+	if d.err != nil {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, d.buf[d.off:])
+	d.off += n
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Dec) String() string {
+	n := d.length(1)
+	if d.err != nil {
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+n])
+	d.off += n
+	return s
+}

@@ -1,0 +1,328 @@
+package snapshot_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"thinunison/internal/snapshot"
+)
+
+// TestContainerRoundTrip: Write∘Read is the identity on section maps,
+// including empty payloads and caller-defined section names the container
+// has never heard of.
+func TestContainerRoundTrip(t *testing.T) {
+	sections := []snapshot.Section{
+		{Name: "engine", Data: []byte{1, 2, 3, 4, 5}},
+		{Name: "monitor", Data: nil},
+		{Name: "x-custom.meta", Data: bytes.Repeat([]byte{0xAB}, 1000)},
+	}
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, sections); err != nil {
+		t.Fatal(err)
+	}
+	got, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(sections) {
+		t.Fatalf("read %d sections, wrote %d", len(got), len(sections))
+	}
+	for _, s := range sections {
+		data, ok := got[s.Name]
+		if !ok {
+			t.Fatalf("section %q lost in round-trip", s.Name)
+		}
+		if !bytes.Equal(data, s.Data) {
+			t.Fatalf("section %q payload corrupted", s.Name)
+		}
+	}
+}
+
+// TestContainerRejectsBadInput: the reader refuses wrong magic, wrong
+// version, duplicate sections, implausible lengths, and EVERY truncation of
+// a valid stream — a checkpoint must fail loudly, never parse partially.
+func TestContainerRejectsBadInput(t *testing.T) {
+	var buf bytes.Buffer
+	if err := snapshot.Write(&buf, []snapshot.Section{
+		{Name: "a", Data: []byte("payload-a")},
+		{Name: "b", Data: []byte("pb")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := snapshot.Read(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d bytes parsed", cut, len(valid))
+		}
+	}
+
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] ^= 0xFF
+	if _, err := snapshot.Read(bytes.NewReader(badMagic)); err == nil {
+		t.Fatal("bad magic parsed")
+	}
+
+	badVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(badVersion[8:12], snapshot.Version+1)
+	if _, err := snapshot.Read(bytes.NewReader(badVersion)); err == nil {
+		t.Fatal("future format version parsed")
+	}
+
+	var dup bytes.Buffer
+	if err := snapshot.Write(&dup, []snapshot.Section{
+		{Name: "a", Data: []byte("one")},
+		{Name: "a", Data: []byte("two")},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snapshot.Read(bytes.NewReader(dup.Bytes())); err == nil {
+		t.Fatal("duplicate section parsed")
+	}
+
+	// Writer-side name validation: empty and oversized names are refused.
+	if err := snapshot.Write(&bytes.Buffer{}, []snapshot.Section{{Name: ""}}); err == nil {
+		t.Fatal("empty section name accepted")
+	}
+	long := string(bytes.Repeat([]byte("x"), 256))
+	if err := snapshot.Write(&bytes.Buffer{}, []snapshot.Section{{Name: long}}); err == nil {
+		t.Fatal("256-byte section name accepted")
+	}
+}
+
+// TestCodecRoundTrip: a random interleaving of every Enc primitive decodes
+// back exactly, and Done certifies exhaustion.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		type op struct {
+			kind int
+			u    uint64
+			i    int64
+			b    bool
+			us   []uint64
+			is   []int
+			i32s []int32
+			blob []byte
+			s    string
+		}
+		nOps := 1 + rng.Intn(20)
+		ops := make([]op, nOps)
+		var e snapshot.Enc
+		for k := range ops {
+			o := op{kind: rng.Intn(8)}
+			switch o.kind {
+			case 0:
+				o.u = rng.Uint64()
+				e.U64(o.u)
+			case 1:
+				o.i = rng.Int63() - rng.Int63()
+				e.I64(o.i)
+			case 2:
+				o.i = int64(int(rng.Int63()) - int(rng.Int63()))
+				e.Int(int(o.i))
+			case 3:
+				o.b = rng.Intn(2) == 0
+				e.Bool(o.b)
+			case 4:
+				o.us = make([]uint64, rng.Intn(5))
+				for j := range o.us {
+					o.us[j] = rng.Uint64()
+				}
+				e.U64s(o.us)
+			case 5:
+				o.is = make([]int, rng.Intn(5))
+				for j := range o.is {
+					o.is[j] = rng.Int() - rng.Int()
+				}
+				e.Ints(o.is)
+			case 6:
+				o.i32s = make([]int32, rng.Intn(5))
+				for j := range o.i32s {
+					o.i32s[j] = int32(rng.Uint32())
+				}
+				e.Int32s(o.i32s)
+			case 7:
+				o.blob = make([]byte, rng.Intn(9))
+				rng.Read(o.blob)
+				e.Blob(o.blob)
+			}
+			ops[k] = o
+		}
+		d := snapshot.NewDec(e.Bytes())
+		for k, o := range ops {
+			switch o.kind {
+			case 0:
+				if got := d.U64(); got != o.u {
+					t.Fatalf("trial %d op %d: U64 %d != %d", trial, k, got, o.u)
+				}
+			case 1:
+				if got := d.I64(); got != o.i {
+					t.Fatalf("trial %d op %d: I64 %d != %d", trial, k, got, o.i)
+				}
+			case 2:
+				if got := d.Int(); got != int(o.i) {
+					t.Fatalf("trial %d op %d: Int %d != %d", trial, k, got, o.i)
+				}
+			case 3:
+				if got := d.Bool(); got != o.b {
+					t.Fatalf("trial %d op %d: Bool %v != %v", trial, k, got, o.b)
+				}
+			case 4:
+				got := d.U64s()
+				if len(got) != len(o.us) {
+					t.Fatalf("trial %d op %d: U64s len %d != %d", trial, k, len(got), len(o.us))
+				}
+				for j := range got {
+					if got[j] != o.us[j] {
+						t.Fatalf("trial %d op %d: U64s[%d]", trial, k, j)
+					}
+				}
+			case 5:
+				got := d.Ints()
+				if len(got) != len(o.is) {
+					t.Fatalf("trial %d op %d: Ints len %d != %d", trial, k, len(got), len(o.is))
+				}
+				for j := range got {
+					if got[j] != o.is[j] {
+						t.Fatalf("trial %d op %d: Ints[%d]", trial, k, j)
+					}
+				}
+			case 6:
+				got := d.Int32s()
+				if len(got) != len(o.i32s) {
+					t.Fatalf("trial %d op %d: Int32s len %d != %d", trial, k, len(got), len(o.i32s))
+				}
+				for j := range got {
+					if got[j] != o.i32s[j] {
+						t.Fatalf("trial %d op %d: Int32s[%d]", trial, k, j)
+					}
+				}
+			case 7:
+				if got := d.Blob(); !bytes.Equal(got, o.blob) {
+					t.Fatalf("trial %d op %d: Blob %x != %x", trial, k, got, o.blob)
+				}
+			}
+		}
+		if err := d.Done(); err != nil {
+			t.Fatalf("trial %d: Done: %v", trial, err)
+		}
+	}
+}
+
+// TestDecStickyErrors: truncating an encoded payload anywhere must surface
+// through Err/Done, getters after the failure return zero values, and no
+// read panics.
+func TestDecStickyErrors(t *testing.T) {
+	var e snapshot.Enc
+	e.U64(7)
+	e.Ints([]int{1, 2, 3})
+	e.Bool(true)
+	e.Blob([]byte("tail"))
+	full := e.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		d := snapshot.NewDec(full[:cut])
+		d.U64()
+		d.Ints()
+		d.Bool()
+		d.Blob()
+		if d.Err() == nil {
+			t.Fatalf("truncation at %d of %d went undetected", cut, len(full))
+		}
+		if d.Done() == nil {
+			t.Fatalf("Done passed on truncation at %d", cut)
+		}
+		// Post-error getters stay zero-valued.
+		if d.U64() != 0 || d.Bool() || d.Ints() != nil {
+			t.Fatalf("post-error getter returned non-zero at cut %d", cut)
+		}
+	}
+	// Trailing garbage is rejected by Done even when all reads succeed.
+	d := snapshot.NewDec(append(append([]byte(nil), full...), 0xFF))
+	d.U64()
+	d.Ints()
+	d.Bool()
+	d.Blob()
+	if d.Err() != nil {
+		t.Fatal("valid prefix should decode")
+	}
+	if d.Done() == nil {
+		t.Fatal("Done accepted trailing bytes")
+	}
+}
+
+// FuzzContainerRead: arbitrary bytes must never panic the reader; valid
+// containers must round-trip.
+func FuzzContainerRead(f *testing.F) {
+	var seed bytes.Buffer
+	if err := snapshot.Write(&seed, []snapshot.Section{{Name: "engine", Data: []byte{9, 9}}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("TUSNAP01 garbage behind a real magic"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := snapshot.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-serialize and re-parse to the same map.
+		out := make([]snapshot.Section, 0, len(sections))
+		for name, payload := range sections {
+			out = append(out, snapshot.Section{Name: name, Data: payload})
+		}
+		var buf bytes.Buffer
+		if err := snapshot.Write(&buf, out); err != nil {
+			t.Fatalf("re-write of parsed snapshot failed: %v", err)
+		}
+		again, err := snapshot.Read(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read of re-written snapshot failed: %v", err)
+		}
+		if len(again) != len(sections) {
+			t.Fatalf("round-trip changed section count: %d != %d", len(again), len(sections))
+		}
+		for name, payload := range sections {
+			if !bytes.Equal(again[name], payload) {
+				t.Fatalf("round-trip changed section %q", name)
+			}
+		}
+	})
+}
+
+// FuzzDec: arbitrary payloads driven through a data-dependent getter
+// sequence must never panic; the sticky error machinery absorbs every
+// malformed shape.
+func FuzzDec(f *testing.F) {
+	var e snapshot.Enc
+	e.Ints([]int{4, 5})
+	e.Blob([]byte("x"))
+	f.Add(e.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := snapshot.NewDec(data)
+		for i := 0; i < 16 && d.Err() == nil; i++ {
+			switch i % 8 {
+			case 0:
+				d.U64()
+			case 1:
+				d.I64()
+			case 2:
+				d.Int()
+			case 3:
+				d.Bool()
+			case 4:
+				d.U64s()
+			case 5:
+				d.Ints()
+			case 6:
+				d.Int32s()
+			case 7:
+				d.Blob()
+			}
+		}
+		_ = d.Done()
+	})
+}

@@ -61,6 +61,7 @@ type Engine[S comparable] struct {
 	mx       *obs.Metrics
 	tracer   *obs.Tracer
 	coin     *randx.Counting // classic-mode rng draw counter; nil if unavailable
+	seed     int64           // construction seed, retained for checkpointing
 	traceErr error           // first sink error of the attached tracer
 }
 
@@ -137,6 +138,7 @@ func New[S comparable](g *graph.Graph, step StepFunc[S], initial []S, seed int64
 		rng:    rand.New(src),
 		mx:     &obs.Metrics{},
 		coin:   coin,
+		seed:   seed,
 	}, nil
 }
 
