@@ -28,6 +28,14 @@
 // the halfway step, and the guard fails unless the restored continuation is
 // byte-identical to the uninterrupted run.
 //
+// The campaign harness is itself self-stabilizing (see internal/failpoint):
+// workers are panic-isolated, -retries re-runs transient failures with
+// backoff, -watchdog cuts down stalled runs, -scenario-timeout bounds each
+// run deterministically, and -resume logs survive torn writes and bit rot
+// via a CRC sidecar. -chaos-check runs the preset under a seeded fault
+// schedule (-chaos-seed) with a kill-and-resume and fails unless the
+// surviving records are byte-identical to an undisturbed run.
+//
 // Observability (see internal/obs): -progress paints a live throughput line
 // on stderr, -metrics keeps each record's engine-counter block, -debug-addr
 // serves expvar + pprof with live campaign-wide counters, -trace-every N
@@ -172,6 +180,12 @@ func run() int {
 		futures = flag.Int("fork-futures", 8, "number of alternative futures -fork runs")
 		word    = flag.Bool("word", false, "force word-parallel (bit-planed batch) AU execution; falls back to scalar when the algorithm offers no word kernel (records are identical either way)")
 
+		chaos     = flag.Bool("chaos-check", false, "self-stabilization guard for the harness itself: run the preset undisturbed, then again under a seeded fault schedule (worker panics, injected engine errors, stalls, torn writes) with a kill-and-resume, and fail unless the surviving records are byte-identical, instead of a normal campaign")
+		chaosSeed = flag.Int64("chaos-seed", 1, "seed for the -chaos-check fault schedule; a failing run prints the seed that reproduces it")
+		retries   = flag.Int("retries", 0, "re-execute scenarios that fail transiently (worker panics, watchdog stalls, injected faults) up to this many times with exponential backoff")
+		watchdog  = flag.Duration("watchdog", 0, "per-scenario stall watchdog: fail (transiently, so -retries applies) any run making no step progress for this long (0 = off)")
+		scTimeout = flag.Duration("scenario-timeout", 0, "per-scenario deadline: fail (deterministically; never retried) any run exceeding it (0 = none)")
+
 		metrics    = flag.Bool("metrics", false, "keep each record's engine-telemetry block (mode-dependent counters; breaks byte-for-byte comparability across execution modes)")
 		progress   = flag.Bool("progress", false, "live progress line on stderr (done/total, evals/s, ETA); never touches the JSONL stream")
 		debugAddr  = flag.String("debug-addr", "", "serve expvar + pprof on this address (e.g. localhost:6060) for the campaign's lifetime")
@@ -239,8 +253,19 @@ func run() int {
 		scenarios[i].Frontier = *front
 		scenarios[i].WordParallel = *word
 		scenarios[i].Obs = obsSpec
+		scenarios[i].Timeout = *scTimeout
+		scenarios[i].Watchdog = *watchdog
 	}
 
+	if *chaos {
+		if failures := campaign.ChaosCheck(os.Stderr, scenarios, campaign.ChaosOptions{
+			Seed:    *chaosSeed,
+			Workers: *workers,
+		}); failures > 0 {
+			return 1
+		}
+		return 0
+	}
 	if *check {
 		return shardCheck(scenarios)
 	}
@@ -331,6 +356,7 @@ func run() int {
 		Workers:       *workers,
 		Timing:        *timing,
 		EngineMetrics: *metrics,
+		Retry:         campaign.RetryPolicy{Max: *retries, Backoff: 10 * time.Millisecond, MaxBackoff: time.Second},
 		OnRecord: func(rec campaign.Record) {
 			if streamErr == nil {
 				streamErr = appendRec(rec)

@@ -42,26 +42,19 @@ type runMeta struct {
 
 // saveCheckpoint writes the engine snapshot plus the runmeta section to path
 // and points the flight recorder at it, so a later failure dump names the
-// checkpoint that replays the window.
+// checkpoint that replays the window. The write is atomic (temp file, fsync,
+// rename): a crash mid-checkpoint never leaves a torn file, and any previous
+// checkpoint at path survives intact.
 func saveCheckpoint(path string, eng *sim.Engine, meta runMeta, tracer *obs.Tracer) error {
 	metaBytes, err := json.Marshal(meta)
 	if err != nil {
 		return err
 	}
-	f, err := os.Create(path)
+	err = snapshot.AtomicWriteFile(path, func(w io.Writer) error {
+		return eng.SaveState(w, snapshot.Section{Name: "runmeta", Data: metaBytes})
+	})
 	if err != nil {
-		return err
-	}
-	if err := eng.SaveState(f, snapshot.Section{Name: "runmeta", Data: metaBytes}); err != nil {
-		f.Close()
 		return fmt.Errorf("checkpoint: %w", err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
 	}
 	tracer.SetSnapshotRef(path)
 	fmt.Printf("checkpoint written to %s (step %d, round %d)\n", path, eng.StepCount(), eng.Rounds())

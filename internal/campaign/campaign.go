@@ -15,6 +15,7 @@ package campaign
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
@@ -282,6 +283,18 @@ type Scenario struct {
 	// differential CI modes run with tracing attached to enforce exactly
 	// that.
 	Obs *ObsSpec
+	// Timeout, when positive, bounds the scenario's wall-clock run time
+	// with a per-scenario context deadline (cmd/campaign
+	// -scenario-timeout). A timed-out run fails with a deterministic
+	// "scenario timeout" error; it is not a transient fault and is never
+	// retried.
+	Timeout time.Duration
+	// Watchdog, when positive, arms a per-scenario stall detector: if the
+	// engine makes no step progress (obs.Metrics) across two consecutive
+	// Watchdog intervals, the run is cancelled and fails with a
+	// "campaign: watchdog:" error, which the runner's retry policy treats
+	// as transient. Zero disables the watchdog.
+	Watchdog time.Duration
 	// intraHint is the runner's idle-capacity suggestion for automatic
 	// intra-run parallelism (workers left over when there are fewer
 	// scenarios than pool workers). It sizes the shard pool but never

@@ -10,6 +10,7 @@ import (
 	"thinunison/internal/asyncsim"
 	"thinunison/internal/budget"
 	"thinunison/internal/core"
+	"thinunison/internal/failpoint"
 	"thinunison/internal/graph"
 	"thinunison/internal/le"
 	"thinunison/internal/mis"
@@ -23,6 +24,21 @@ import (
 
 // errCancelled marks runs aborted by context cancellation.
 var errCancelled = errors.New("campaign: run cancelled")
+
+// errStalled is the cancellation cause installed by the per-scenario
+// watchdog; errScenarioTimeout the cause installed by Scenario.Timeout.
+// executeGuarded rewrites the generic cancellation error into the specific
+// failure when one of these is the cause.
+var (
+	errStalled         = errors.New("campaign: watchdog stall")
+	errScenarioTimeout = errors.New("campaign: scenario timeout")
+)
+
+// Demotion targets of the graceful-degradation ladder (Record.degrade).
+const (
+	degradeWord     = "word"
+	degradeFrontier = "frontier"
+)
 
 // exactDiameterLimit is the largest node count for which Execute falls back
 // to the exact (quadratic) diameter computation when the family's diameter is
@@ -45,9 +61,111 @@ const exactDiameterLimit = 512
 // opted out per scenario via Scenario.Frontier < 0. The mode is
 // byte-transparent to records. The MIS/LE drivers stay dense: those
 // programs redraw coins every round, so their frontier would never empty.
+//
+// Execute layers the robustness harness on top of the run itself: a
+// per-scenario timeout and watchdog (Scenario.Timeout / Scenario.Watchdog),
+// and the graceful-degradation ladder — a run failing with
+// sim.ErrWordInvariant or sim.ErrFrontierInvariant is re-executed on the
+// scalar / dense oracle path (both modes are byte-transparent, so the
+// demoted record differs only in its Demotions count, which Canonical
+// zeroes). Panic isolation lives one level up, in ExecuteIsolated.
 func Execute(ctx context.Context, sc Scenario) Record {
-	start := time.Now()
-	rec := Record{
+	rec := executeGuarded(ctx, sc)
+	// Degradation ladder: at most one word→scalar and one frontier→dense
+	// hop, so a run tripping both invariants ends on the plain dense
+	// sequential oracle path.
+	for hop := 0; hop < 2 && rec.degrade != ""; hop++ {
+		switch rec.degrade {
+		case degradeWord:
+			sc.WordParallel = false
+		case degradeFrontier:
+			sc.Frontier = -1
+		}
+		demotions := rec.Demotions + 1
+		rec = executeGuarded(ctx, sc)
+		rec.Demotions = demotions
+		if rec.Engine != nil {
+			rec.Engine.Demotions = uint64(demotions)
+		}
+	}
+	return rec
+}
+
+// executeGuarded is one attempt of Execute: the scenario run wrapped with
+// the per-scenario timeout and the stall watchdog.
+func executeGuarded(ctx context.Context, sc Scenario) Record {
+	mx := &obs.Metrics{}
+	if sc.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeoutCause(ctx, sc.Timeout, errScenarioTimeout)
+		defer cancel()
+	}
+	if sc.Watchdog > 0 {
+		wctx, cancel := context.WithCancelCause(ctx)
+		defer cancel(nil)
+		stop := watchProgress(wctx, cancel, mx, sc.Watchdog)
+		defer stop()
+		ctx = wctx
+	}
+	rec := executeOnce(ctx, sc, mx)
+	// The run loop only sees a generic cancellation; rewrite it into the
+	// specific failure when this guard installed the cause.
+	if !rec.OK && rec.Err == errCancelled.Error() {
+		switch cause := context.Cause(ctx); {
+		case errors.Is(cause, errStalled):
+			rec.Err = fmt.Sprintf("%sno step progress within %v", watchdogPrefix, sc.Watchdog)
+			if rec.Engine != nil {
+				rec.Engine.WatchdogStalls++
+			}
+		case errors.Is(cause, errScenarioTimeout):
+			rec.Err = fmt.Sprintf("campaign: scenario timeout after %v", sc.Timeout)
+		}
+	}
+	return rec
+}
+
+// watchProgress starts the stall watchdog: a goroutine sampling the metric
+// set every interval and cancelling the run (cause errStalled) after two
+// consecutive intervals without step progress — two, so a scenario caught
+// mid-setup (graph build, first step) gets a full interval of grace. The
+// returned stop func must be called when the run finishes.
+func watchProgress(ctx context.Context, cancel context.CancelCauseFunc, mx *obs.Metrics, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var last uint64
+		stale := 0
+		for {
+			select {
+			case <-done:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				// Any of these advancing means the run is alive: async
+				// engines bump Steps, sync engines Steps+Evaluated, fault
+				// injection Faults.
+				cur := mx.Steps.Load() + mx.Evaluated.Load() + mx.Faults.Load()
+				if cur != last {
+					last, stale = cur, 0
+					continue
+				}
+				if stale++; stale >= 2 {
+					mx.WatchdogStalls.Add(1)
+					cancel(errStalled)
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// newRecord stamps a record with the scenario's identity fields; Execute and
+// the panic quarantine path both start from it.
+func newRecord(sc Scenario) Record {
+	return Record{
 		Scenario:    sc.Index,
 		Family:      string(sc.Family),
 		Scheduler:   sc.Scheduler.Name(),
@@ -59,6 +177,13 @@ func Execute(ctx context.Context, sc Scenario) Record {
 		Churn:       sc.Churn.Name(),
 		Diameter:    -1,
 	}
+}
+
+// executeOnce runs the scenario exactly once into mx, with no harness
+// wrapping (no ladder, no watchdog, no panic isolation).
+func executeOnce(ctx context.Context, sc Scenario, mx *obs.Metrics) Record {
+	start := time.Now()
+	rec := newRecord(sc)
 	if sc.Churn.active() && sc.Algorithm != AlgAU {
 		rec.fail(fmt.Errorf("campaign: topology churn requires algorithm %q, got %q", AlgAU, sc.Algorithm))
 		return rec
@@ -74,10 +199,11 @@ func Execute(ctx context.Context, sc Scenario) Record {
 	d, diam := diameterParam(sc, g)
 	rec.D, rec.Diameter = d, diam
 
-	// Engine telemetry: every run gets a metric set (snapshotted into the
-	// record; the Runner strips it unless EngineMetrics) and, when the
-	// scenario carries an ObsSpec, a sampled step tracer / flight recorder.
-	mx := &obs.Metrics{}
+	// Engine telemetry: every run records into the caller's metric set
+	// (snapshotted into the record; the Runner strips it unless
+	// EngineMetrics — the watchdog also samples it for step progress) and,
+	// when the scenario carries an ObsSpec, a sampled step tracer / flight
+	// recorder.
 	var tracer *obs.Tracer
 	if o := sc.Obs; o != nil {
 		tracer = obs.NewTracer(o.FlightRing, o.TraceEvery, o.Sink)
@@ -155,6 +281,10 @@ func faultBursts(f FaultSpec) int {
 // pollingCond wraps a stabilization predicate with a periodic context check,
 // so long runs abort promptly on cancellation. The flag records whether the
 // wrapped predicate fired because of cancellation rather than stabilization.
+//
+// The campaign/poll failpoint site lives here rather than inside the engine
+// step: the poll layer has the run context, so an injected stall blocks
+// interruptibly and the watchdog (or a timeout) can cut it short.
 func pollingCond(ctx context.Context, cancelled *bool, inner func() bool) func() bool {
 	calls := 0
 	return func() bool {
@@ -163,8 +293,30 @@ func pollingCond(ctx context.Context, cancelled *bool, inner func() bool) func()
 			*cancelled = true
 			return true
 		}
+		if failpoint.Armed() {
+			if f := failpoint.Eval(failpoint.CampaignPoll); f.Kind == failpoint.FailStall {
+				f.Wait(ctx)
+				if ctx.Err() != nil {
+					*cancelled = true
+					return true
+				}
+			}
+		}
 		return inner()
 	}
+}
+
+// failRun records err on rec, first tagging demotable invariant violations
+// so Execute's degradation ladder can re-run the scenario on the
+// scalar/dense path.
+func failRun(rec *Record, err error) {
+	switch {
+	case errors.Is(err, sim.ErrWordInvariant):
+		rec.degrade = degradeWord
+	case errors.Is(err, sim.ErrFrontierInvariant):
+		rec.degrade = degradeFrontier
+	}
+	rec.fail(err)
 }
 
 // asyncTaskBudget adds the synchronizer's stabilization allowance to the
@@ -284,13 +436,27 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	// cancellation cond. ErrBudgetExhausted is the normal outcome — the
 	// "budget" here is exactly the stretch length.
 	abort := pollingCond(ctx, &cancelled, soakAbort)
+	var soakErr error
 	soak := func() bool {
 		if sc.Faults.SoakRounds <= 0 {
 			return true
 		}
 		_, err := eng.RunUntil(func(*sim.Engine) bool { return abort() }, sc.Faults.SoakRounds)
 		rec.Steps = eng.StepCount()
+		if err != nil && !errors.Is(err, sim.ErrBudgetExhausted) {
+			// A real engine failure inside the soak (churn, hook, injected
+			// fault) must surface as itself, not as a cancellation.
+			soakErr = err
+			return false
+		}
 		return errors.Is(err, sim.ErrBudgetExhausted) && !cancelled && !oracleBad
+	}
+	failSoak := func() {
+		if soakErr != nil {
+			failRun(rec, soakErr)
+		} else {
+			rec.fail(errCancelled)
+		}
 	}
 	rounds, err := eng.RunUntil(func(*sim.Engine) bool { return good() }, roundBudget)
 	rec.Rounds, rec.Steps = rounds, eng.StepCount()
@@ -305,7 +471,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		if errors.Is(err, sim.ErrBudgetExhausted) {
 			err = fmt.Errorf("AU did not stabilize within %d rounds", roundBudget)
 		}
-		rec.fail(err)
+		failRun(rec, err)
 		return
 	}
 	rec.OK = true
@@ -313,7 +479,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 		if failOracle() {
 			return
 		}
-		rec.fail(errCancelled)
+		failSoak()
 		return
 	}
 
@@ -335,14 +501,14 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 			if errors.Is(err, sim.ErrBudgetExhausted) {
 				err = fmt.Errorf("AU did not recover from burst %d within %d rounds", burst, roundBudget)
 			}
-			rec.fail(err)
+			failRun(rec, err)
 			return
 		}
 		if !soak() {
 			if failOracle() {
 				return
 			}
-			rec.fail(errCancelled)
+			failSoak()
 			return
 		}
 	}

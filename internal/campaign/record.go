@@ -7,7 +7,9 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 
+	"thinunison/internal/failpoint"
 	"thinunison/internal/obs"
 )
 
@@ -55,6 +57,15 @@ type Record struct {
 	// runner's Timing option is off).
 	WallMS float64 `json:"wall_ms,omitempty"`
 
+	// Retries is the number of times the scenario was re-executed after a
+	// transient harness failure (quarantined panic, injected fault,
+	// watchdog stall); Demotions the number of graceful-degradation
+	// re-runs after a word/frontier invariant violation. Both describe how
+	// the harness got the result, not the result itself, so Canonical
+	// zeroes them.
+	Retries   int `json:"retries,omitempty"`
+	Demotions int `json:"demotions,omitempty"`
+
 	// Engine is the run's engine-telemetry snapshot (obs.Metrics counter
 	// catalog), populated by Execute. The Runner strips it unless its
 	// EngineMetrics option is on: several counters are mode-dependent
@@ -68,6 +79,11 @@ type Record struct {
 	// burst) within budget; Err carries the failure otherwise.
 	OK  bool   `json:"ok"`
 	Err string `json:"error,omitempty"`
+
+	// degrade marks a run that failed with a demotable invariant violation
+	// (sim.ErrWordInvariant / sim.ErrFrontierInvariant); Execute's
+	// degradation ladder re-runs the scenario on the scalar/dense path.
+	degrade string
 }
 
 // Canonical returns the record reduced to its byte-comparable form: wall
@@ -79,6 +95,10 @@ type Record struct {
 // field.
 func (r Record) Canonical() Record {
 	r.WallMS = 0
+	// Harness bookkeeping: a chaos run that was retried or demoted and
+	// converged to the same trajectory must byte-match an undisturbed run.
+	r.Retries = 0
+	r.Demotions = 0
 	if r.Engine != nil {
 		t := r.Engine.Trajectory()
 		r.Engine = &t
@@ -91,6 +111,33 @@ func (r *Record) fail(err error) {
 	if r.Err == "" {
 		r.Err = err.Error()
 	}
+}
+
+// panicPrefix and watchdogPrefix mark the two harness-generated failure
+// classes in Record.Err (see ExecuteIsolated and the watchdog in Execute).
+const (
+	panicPrefix    = "campaign: panic: "
+	watchdogPrefix = "campaign: watchdog: "
+)
+
+// Cancelled reports whether the record was aborted by campaign-level context
+// cancellation (^C, global -timeout). Cancelled records carry no durable
+// outcome: ResumableLog.Append skips them so the scenario is re-run on
+// -resume.
+func (r Record) Cancelled() bool { return !r.OK && r.Err == errCancelled.Error() }
+
+// Transient reports whether the record's failure is a transient harness
+// fault — a quarantined panic, an injected failpoint error, or a watchdog
+// stall — that a bounded retry may clear, as opposed to a deterministic
+// outcome (budget exhaustion, invalid scenario, scenario timeout,
+// cancellation).
+func (r Record) Transient() bool {
+	if r.OK || r.Err == "" {
+		return false
+	}
+	return strings.HasPrefix(r.Err, panicPrefix) ||
+		strings.HasPrefix(r.Err, watchdogPrefix) ||
+		strings.Contains(r.Err, failpoint.ErrInjected.Error())
 }
 
 // WriteJSONL writes one JSON object per line. Field order is fixed by the

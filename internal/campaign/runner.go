@@ -45,6 +45,36 @@ type Runner struct {
 	// ETA), rewritten in place at a throttled rate. Point it at stderr:
 	// it is a side channel and never touches the record stream.
 	Progress io.Writer
+	// Retry re-executes scenarios that fail transiently (Record.Transient:
+	// quarantined panics, injected faults, watchdog stalls) with bounded
+	// exponential backoff. The zero value never retries.
+	Retry RetryPolicy
+}
+
+// RetryPolicy bounds the Runner's transient-failure retries.
+type RetryPolicy struct {
+	// Max is the number of re-executions allowed per scenario after a
+	// transient failure; 0 disables retries.
+	Max int
+	// Backoff is the delay before the first retry, doubling each further
+	// retry up to MaxBackoff. Zero means retry immediately — right for
+	// deterministic injected faults, whose repetition wall-clock cannot
+	// help.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling; 0 means no cap.
+	MaxBackoff time.Duration
+}
+
+// delay returns the backoff before retry attempt (1-based).
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.Backoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if p.MaxBackoff > 0 && d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
 }
 
 // Run executes all scenarios and returns their records sorted by scenario
@@ -77,7 +107,7 @@ func (r *Runner) Run(ctx context.Context, scenarios []Scenario) ([]Record, error
 		go func() {
 			defer wg.Done()
 			for sc := range jobs {
-				rec := Execute(ctx, sc)
+				rec := r.executeWithRetry(ctx, sc)
 				if !r.Timing {
 					rec.WallMS = 0
 				}
@@ -230,6 +260,44 @@ func (m *progressMeter) paint(now time.Time) {
 	fmt.Fprintf(m.w, "\rcampaign: %d/%d runs, %.3g evals, %.3g evals/s, eta %s   ",
 		m.done, m.total, float64(m.evals), float64(m.evals)/elapsed, eta)
 	m.wrote = true
+}
+
+// executeWithRetry is the worker body: the scenario runs panic-isolated,
+// and transient failures (quarantined panics, injected faults, watchdog
+// stalls — never deterministic outcomes like budget exhaustion or scenario
+// timeouts) are retried up to Retry.Max times with exponential backoff. The
+// final record carries the retry count; deterministic scenarios converge to
+// the same bytes as an undisturbed run once the fault clears, which is what
+// ChaosCheck pins.
+func (r *Runner) executeWithRetry(ctx context.Context, sc Scenario) Record {
+	rec := ExecuteIsolated(ctx, sc)
+	for attempt := 1; attempt <= r.Retry.Max && rec.Transient() && ctx.Err() == nil; attempt++ {
+		if d := r.Retry.delay(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return rec
+			}
+		}
+		next := ExecuteIsolated(ctx, sc)
+		next.Retries = attempt
+		if next.Engine != nil {
+			next.Engine.RunRetries = uint64(attempt)
+			// Fold the harness counters of the failed attempts into the
+			// surviving record's engine block so campaign-wide aggregates
+			// (Runner.Obs) see every quarantined panic and stall, not just
+			// those of final attempts.
+			if rec.Engine != nil {
+				next.Engine.WorkerPanics += rec.Engine.WorkerPanics
+				next.Engine.WatchdogStalls += rec.Engine.WatchdogStalls
+				next.Engine.Demotions += rec.Engine.Demotions
+			}
+		}
+		rec = next
+	}
+	return rec
 }
 
 // idleShare returns each run's share of the pool capacity left idle by the

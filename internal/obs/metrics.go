@@ -91,6 +91,20 @@ type Metrics struct {
 	Faults atomic.Uint64
 	// BudgetExhausted counts RunUntil budget exhaustions.
 	BudgetExhausted atomic.Uint64
+	// Demotions counts graceful-degradation re-runs: a word-kernel or
+	// frontier invariant violation demoted the run to the scalar/dense
+	// oracle path (harness counter, zeroed by Trajectory).
+	Demotions atomic.Uint64
+	// WorkerPanics counts campaign worker panics quarantined into failed
+	// records (harness counter, zeroed by Trajectory).
+	WorkerPanics atomic.Uint64
+	// WatchdogStalls counts per-scenario watchdog firings (no step
+	// progress across consecutive intervals; harness counter, zeroed by
+	// Trajectory).
+	WatchdogStalls atomic.Uint64
+	// RunRetries counts scenario re-executions after transient failures
+	// (harness counter, zeroed by Trajectory).
+	RunRetries atomic.Uint64
 }
 
 // Snapshot is a plain-value copy of a Metrics set, suitable for JSON
@@ -116,6 +130,10 @@ type Snapshot struct {
 	ChurnSkipped      uint64 `json:"churn_skipped,omitempty"`
 	Faults            uint64 `json:"faults,omitempty"`
 	BudgetExhausted   uint64 `json:"budget_exhausted,omitempty"`
+	Demotions         uint64 `json:"demotions,omitempty"`
+	WorkerPanics      uint64 `json:"worker_panics,omitempty"`
+	WatchdogStalls    uint64 `json:"watchdog_stalls,omitempty"`
+	RunRetries        uint64 `json:"run_retries,omitempty"`
 }
 
 // Snapshot returns a point-in-time copy of the metric set.
@@ -141,6 +159,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		ChurnSkipped:      m.ChurnSkipped.Load(),
 		Faults:            m.Faults.Load(),
 		BudgetExhausted:   m.BudgetExhausted.Load(),
+		Demotions:         m.Demotions.Load(),
+		WorkerPanics:      m.WorkerPanics.Load(),
+		WatchdogStalls:    m.WatchdogStalls.Load(),
+		RunRetries:        m.RunRetries.Load(),
 	}
 }
 
@@ -170,6 +192,10 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 		ChurnSkipped:      s.ChurnSkipped - prev.ChurnSkipped,
 		Faults:            s.Faults - prev.Faults,
 		BudgetExhausted:   s.BudgetExhausted - prev.BudgetExhausted,
+		Demotions:         s.Demotions - prev.Demotions,
+		WorkerPanics:      s.WorkerPanics - prev.WorkerPanics,
+		WatchdogStalls:    s.WatchdogStalls - prev.WatchdogStalls,
+		RunRetries:        s.RunRetries - prev.RunRetries,
 	}
 }
 
@@ -179,7 +205,11 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 // execution modes (dense vs frontier, classic vs sharded): equal runs must
 // produce equal trajectory counters, while Evaluated, FrontierSkips,
 // FrontierSize, Settled, CoinDraws, WordSteps, BoundaryApplies and
-// Repartitions measure how the mode did the work and are exempt.
+// Repartitions measure how the mode did the work and are exempt. Harness
+// counters (Demotions, WorkerPanics, WatchdogStalls, RunRetries) depend on
+// the fault schedule and retry policy, not the trajectory, and are zeroed
+// too — a chaos run that converges to the same trajectory must byte-match
+// an undisturbed one.
 func (s Snapshot) Trajectory() Snapshot {
 	s.Evaluated = 0
 	s.FrontierSkips = 0
@@ -189,11 +219,15 @@ func (s Snapshot) Trajectory() Snapshot {
 	s.WordSteps = 0
 	s.BoundaryApplies = 0
 	s.Repartitions = 0
+	s.Demotions = 0
+	s.WorkerPanics = 0
+	s.WatchdogStalls = 0
+	s.RunRetries = 0
 	return s
 }
 
 // SnapshotWords is the number of counters in a Snapshot's flat word vector.
-const SnapshotWords = 20
+const SnapshotWords = 24
 
 // Words flattens the snapshot into a fixed-order word vector, the
 // serialization interchange form used by engine checkpoints. Keep the order
@@ -204,7 +238,8 @@ func (s Snapshot) Words() [SnapshotWords]uint64 {
 		s.TransAA, s.TransAF, s.TransFA, s.CoinDraws, s.Settled,
 		s.FrontierSkips, s.FrontierSize, s.WordSteps, s.MonitorPromotions,
 		s.BoundaryApplies, s.Repartitions, s.ChurnApplied, s.ChurnSkipped,
-		s.Faults, s.BudgetExhausted,
+		s.Faults, s.BudgetExhausted, s.Demotions, s.WorkerPanics,
+		s.WatchdogStalls, s.RunRetries,
 	}
 }
 
@@ -215,7 +250,8 @@ func SnapshotFromWords(w [SnapshotWords]uint64) Snapshot {
 		TransAA: w[5], TransAF: w[6], TransFA: w[7], CoinDraws: w[8], Settled: w[9],
 		FrontierSkips: w[10], FrontierSize: w[11], WordSteps: w[12], MonitorPromotions: w[13],
 		BoundaryApplies: w[14], Repartitions: w[15], ChurnApplied: w[16], ChurnSkipped: w[17],
-		Faults: w[18], BudgetExhausted: w[19],
+		Faults: w[18], BudgetExhausted: w[19], Demotions: w[20], WorkerPanics: w[21],
+		WatchdogStalls: w[22], RunRetries: w[23],
 	}
 }
 
@@ -243,6 +279,10 @@ func (m *Metrics) Add(s Snapshot) {
 	m.ChurnSkipped.Add(s.ChurnSkipped)
 	m.Faults.Add(s.Faults)
 	m.BudgetExhausted.Add(s.BudgetExhausted)
+	m.Demotions.Add(s.Demotions)
+	m.WorkerPanics.Add(s.WorkerPanics)
+	m.WatchdogStalls.Add(s.WatchdogStalls)
+	m.RunRetries.Add(s.RunRetries)
 }
 
 // Publish registers the metric set under name in expvar, serving live

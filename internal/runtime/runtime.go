@@ -15,6 +15,7 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -33,6 +34,7 @@ type Runtime struct {
 	cells       []atomic.Int64
 	activations []atomic.Int64
 	stop        chan struct{}
+	stopOnce    sync.Once
 	done        sync.WaitGroup
 	started     atomic.Bool
 	seed        int64
@@ -108,12 +110,28 @@ func (r *Runtime) nodeLoop(v int, rng *rand.Rand) {
 
 // Stop terminates all node goroutines and waits for them to exit.
 func (r *Runtime) Stop() {
-	select {
-	case <-r.stop:
-	default:
-		close(r.stop)
-	}
+	r.stopOnce.Do(func() { close(r.stop) })
 	r.done.Wait()
+}
+
+// Shutdown terminates all node goroutines like Stop, but bounds the wait by
+// ctx: it returns nil once every goroutine has exited, or the context's
+// cause if the deadline expires first. Either way the stop signal stays
+// down — a deadline miss means the remaining goroutines keep draining in the
+// background, and a later Stop/Shutdown call waits for them again.
+func (r *Runtime) Shutdown(ctx context.Context) error {
+	r.stopOnce.Do(func() { close(r.stop) })
+	exited := make(chan struct{})
+	go func() {
+		r.done.Wait()
+		close(exited)
+	}()
+	select {
+	case <-exited:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("runtime: shutdown: %w", context.Cause(ctx))
+	}
 }
 
 // Snapshot returns a (relaxed) snapshot of the configuration.

@@ -1,0 +1,98 @@
+package runtime_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	gort "runtime"
+	"testing"
+	"time"
+
+	"thinunison/internal/core"
+	"thinunison/internal/graph"
+	"thinunison/internal/runtime"
+)
+
+func newRuntime(t *testing.T, n int) *runtime.Runtime {
+	t.Helper()
+	g, err := graph.Cycle(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	au, err := core.NewAU(g.Diameter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := runtime.New(g, au, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// awaitGoroutines polls until the process goroutine count drops back to at
+// most baseline (exits are asynchronous after done.Wait's release under
+// -race, so a single instantaneous sample can flake).
+func awaitGoroutines(baseline int) error {
+	deadline := time.Now().Add(10 * time.Second)
+	n := 0
+	for time.Now().Before(deadline) {
+		if n = gort.NumGoroutine(); n <= baseline {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("%d goroutines still running (baseline %d)", n, baseline)
+}
+
+// TestShutdownBounded pins the goroutine hygiene of the concurrent runtime:
+// Shutdown with a generous deadline returns nil promptly and every node
+// goroutine exits — the count returns to its pre-Start baseline, so repeated
+// start/shutdown cycles (a long-lived harness) cannot leak.
+func TestShutdownBounded(t *testing.T) {
+	baseline := gort.NumGoroutine()
+	for cycle := 0; cycle < 3; cycle++ {
+		rt := newRuntime(t, 16)
+		if err := rt.Start(); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond) // let the nodes actually run
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		start := time.Now()
+		err := rt.Shutdown(ctx)
+		cancel()
+		if err != nil {
+			t.Fatalf("cycle %d: shutdown: %v", cycle, err)
+		}
+		if d := time.Since(start); d > 5*time.Second {
+			t.Fatalf("cycle %d: shutdown took %v, want prompt exit", cycle, d)
+		}
+		if err := awaitGoroutines(baseline); err != nil {
+			t.Fatalf("cycle %d: %v after shutdown", cycle, err)
+		}
+	}
+}
+
+// TestShutdownExpiredDeadline: an already-cancelled context surfaces its
+// cause, and the stop signal still goes down — a later Stop drains the
+// goroutines, so a deadline miss degrades to background cleanup, not a leak.
+func TestShutdownExpiredDeadline(t *testing.T) {
+	baseline := gort.NumGoroutine()
+	rt := newRuntime(t, 16)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The nodes may exit before the select observes the cancelled context
+	// (both channels ready), so nil is acceptable; an error must carry the
+	// cancellation cause.
+	if err := rt.Shutdown(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("shutdown error = %v, want context.Canceled cause", err)
+	}
+	rt.Stop() // unbounded wait drains whatever the bounded call left behind
+	if err := awaitGoroutines(baseline); err != nil {
+		t.Fatalf("%v after stop", err)
+	}
+}

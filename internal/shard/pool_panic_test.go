@@ -1,0 +1,104 @@
+package shard
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"thinunison/internal/failpoint"
+)
+
+// TestPoolSurvivesWorkerPanic pins the worker-replacement contract: a shard
+// call that panics is re-raised on the caller as a PoolPanic after the
+// barrier, and the pool (workers, channels) stays usable for further Runs —
+// the partition is never lost with the worker.
+func TestPoolSurvivesWorkerPanic(t *testing.T) {
+	pl := NewPool(4)
+	defer pl.Close()
+
+	// Warm the pool with a clean run.
+	var ran atomic.Int64
+	pl.Run(func(s int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("warm run covered %d shards, want 4", ran.Load())
+	}
+
+	// One shard panics: Run must re-raise PoolPanic, not deadlock.
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		pl.Run(func(s int) {
+			if s == 2 {
+				panic("boom")
+			}
+		})
+		return nil
+	}()
+	pp, ok := caught.(PoolPanic)
+	if !ok {
+		t.Fatalf("recovered %T %v, want PoolPanic", caught, caught)
+	}
+	if pp.Shard != 2 || pp.Value != "boom" {
+		t.Fatalf("PoolPanic = %+v, want shard 2 value boom", pp)
+	}
+	if !strings.Contains(pp.String(), "shard 2") {
+		t.Fatalf("PoolPanic.String() = %q", pp.String())
+	}
+
+	// The pool is still fully functional after the panic.
+	ran.Store(0)
+	pl.Run(func(s int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("post-panic run covered %d shards, want 4", ran.Load())
+	}
+}
+
+// TestPoolInlineShardPanic covers the P=1 inline path and the shard-0 path
+// of a multi-shard pool: panics on the calling goroutine go through the same
+// recover/re-raise machinery.
+func TestPoolInlineShardPanic(t *testing.T) {
+	for _, p := range []int{1, 3} {
+		pl := NewPool(p)
+		caught := func() (v any) {
+			defer func() { v = recover() }()
+			pl.Run(func(s int) {
+				if s == 0 {
+					panic("zero")
+				}
+			})
+			return nil
+		}()
+		pp, ok := caught.(PoolPanic)
+		if !ok || pp.Shard != 0 || pp.Value != "zero" {
+			t.Fatalf("P=%d: recovered %v, want PoolPanic{0, zero}", p, caught)
+		}
+		pl.Run(func(s int) {}) // still usable
+		pl.Close()
+	}
+}
+
+// TestPoolFailpointPanic arms the shard/worker failpoint site and checks the
+// injected panic surfaces as a PoolPanic carrying the Fire value.
+func TestPoolFailpointPanic(t *testing.T) {
+	failpoint.Arm(failpoint.New(1, []failpoint.Rule{
+		{Site: failpoint.ShardWorker, Kind: failpoint.FailPanic, Hits: []uint64{3}},
+	}))
+	defer failpoint.Disarm()
+
+	pl := NewPool(2)
+	defer pl.Close()
+	var caught any
+	for i := 0; i < 4 && caught == nil; i++ {
+		caught = func() (v any) {
+			defer func() { v = recover() }()
+			pl.Run(func(s int) {})
+			return nil
+		}()
+	}
+	pp, ok := caught.(PoolPanic)
+	if !ok {
+		t.Fatalf("no PoolPanic from armed schedule (caught %v)", caught)
+	}
+	if _, ok := pp.Value.(failpoint.Fire); !ok {
+		t.Fatalf("PoolPanic.Value = %T, want failpoint.Fire", pp.Value)
+	}
+}

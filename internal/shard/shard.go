@@ -29,7 +29,9 @@ package shard
 import (
 	"fmt"
 	"sort"
+	"sync"
 
+	"thinunison/internal/failpoint"
 	"thinunison/internal/graph"
 	"thinunison/internal/sa"
 )
@@ -284,12 +286,32 @@ func (pt *Partition) String() string {
 // A Pool of one shard runs inline and never starts a goroutine. Close
 // terminates the workers; Run must not be called after Close. Pools are not
 // safe for concurrent Run calls.
+//
+// A panic inside fn does not kill the pool: every shard call is recovered so
+// the barrier always completes, then the first panic is re-raised on the
+// calling goroutine as a PoolPanic. The workers and the partition survive,
+// so a caller that recovers the PoolPanic may keep using the pool.
 type Pool struct {
 	p       int
 	work    []chan func(int)
 	done    chan struct{}
 	started bool
 	closed  bool
+
+	mu       sync.Mutex
+	panicked *PoolPanic
+}
+
+// PoolPanic is the value re-raised by Pool.Run on the calling goroutine when
+// a shard call panicked. Value is the original panic payload; if several
+// shards panicked in one Run, the first to be recovered wins.
+type PoolPanic struct {
+	Shard int
+	Value any
+}
+
+func (p PoolPanic) String() string {
+	return fmt.Sprintf("shard %d: %v", p.Shard, p.Value)
 }
 
 // NewPool returns a pool over p shards (p < 1 is treated as 1).
@@ -314,7 +336,8 @@ func (pl *Pool) Run(fn func(shard int)) {
 		panic("shard: Run on closed Pool")
 	}
 	if pl.p == 1 {
-		fn(0)
+		pl.call(fn, 0)
+		pl.rethrow()
 		return
 	}
 	if !pl.started {
@@ -323,9 +346,43 @@ func (pl *Pool) Run(fn func(shard int)) {
 	for _, w := range pl.work {
 		w <- fn
 	}
-	fn(0)
+	pl.call(fn, 0)
 	for range pl.work {
 		<-pl.done
+	}
+	pl.rethrow()
+}
+
+// call runs one shard with panic isolation: a panicking shard is recorded
+// instead of unwinding, so workers always reach their done send and the
+// barrier in Run cannot deadlock on a dead worker.
+func (pl *Pool) call(fn func(shard int), s int) {
+	defer func() {
+		if v := recover(); v != nil {
+			pl.mu.Lock()
+			if pl.panicked == nil {
+				pl.panicked = &PoolPanic{Shard: s, Value: v}
+			}
+			pl.mu.Unlock()
+		}
+	}()
+	if failpoint.Armed() {
+		if f := failpoint.Eval(failpoint.ShardWorker); f.Kind == failpoint.FailPanic {
+			panic(f)
+		}
+	}
+	fn(s)
+}
+
+// rethrow re-raises the first shard panic of this Run, after the barrier, on
+// the calling goroutine.
+func (pl *Pool) rethrow() {
+	pl.mu.Lock()
+	p := pl.panicked
+	pl.panicked = nil
+	pl.mu.Unlock()
+	if p != nil {
+		panic(*p)
 	}
 }
 
@@ -337,7 +394,7 @@ func (pl *Pool) start() {
 		s := i + 1
 		go func(w chan func(int)) {
 			for fn := range w {
-				fn(s)
+				pl.call(fn, s)
 				pl.done <- struct{}{}
 			}
 		}(pl.work[i])

@@ -46,6 +46,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"thinunison/internal/failpoint"
 	"thinunison/internal/frontier"
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
@@ -58,6 +59,41 @@ import (
 // ErrBudgetExhausted is returned by RunUntil when the predicate did not hold
 // within the allotted number of rounds.
 var ErrBudgetExhausted = errors.New("sim: round budget exhausted before condition held")
+
+// ErrWordInvariant and ErrFrontierInvariant report a self-check violation in
+// the word-parallel kernel or the frontier bookkeeping. They are currently
+// raised only through the corresponding failpoint sites (the differentials
+// enforce the real invariants in CI), giving the campaign's graceful
+// degradation ladder a deterministic trigger: a run failing with one of
+// these is demoted to the scalar/dense oracle path and re-executed.
+var (
+	ErrWordInvariant     = errors.New("sim: word-parallel kernel invariant violated")
+	ErrFrontierInvariant = errors.New("sim: frontier invariant violated")
+)
+
+// evalFailpoints evaluates the engine's chaos sites at a step boundary. Only
+// called when a failpoint schedule is armed; the invariant sites fire only
+// when the corresponding execution mode is active, mirroring where a real
+// self-check would live.
+func (e *Engine) evalFailpoints() error {
+	if f := failpoint.Eval(failpoint.SimStep); f.Kind != failpoint.None {
+		if f.Kind == failpoint.FailPanic {
+			panic(f)
+		}
+		return fmt.Errorf("sim: step %d: %w", e.step, f.Err())
+	}
+	if e.wr != nil {
+		if f := failpoint.Eval(failpoint.SimWordInvariant); f.Kind != failpoint.None {
+			return fmt.Errorf("%w (injected at step %d, hit %d)", ErrWordInvariant, e.step, f.Hit)
+		}
+	}
+	if e.fr != nil {
+		if f := failpoint.Eval(failpoint.SimFrontierInvariant); f.Kind != failpoint.None {
+			return fmt.Errorf("%w (injected at step %d, hit %d)", ErrFrontierInvariant, e.step, f.Hit)
+		}
+	}
+	return nil
+}
 
 // Hook observes the engine after each step. Hooks may record traces or check
 // invariants; returning an error aborts the run.
@@ -597,6 +633,11 @@ func (e *Engine) InjectFaults(count int) []int {
 // paper's simultaneous-update semantics. On a sharded engine the staging
 // fans out across the worker pool; see Options.Parallelism.
 func (e *Engine) Step() error {
+	if failpoint.Armed() {
+		if err := e.evalFailpoints(); err != nil {
+			return err
+		}
+	}
 	if e.churn != nil {
 		// Step-boundary churn: mutate the topology before this step's
 		// activation set is drawn, so the step runs on the new graph.

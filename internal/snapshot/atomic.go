@@ -1,0 +1,73 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"thinunison/internal/failpoint"
+)
+
+// AtomicWriteFile durably replaces path with the bytes produced by write,
+// using the temp-file + fsync + rename protocol: the payload is staged in a
+// temp file in the same directory, synced, renamed over path, and the
+// directory synced. A crash (or injected fault) at any point leaves either
+// the old file or the new one — never a half-written artifact — so a
+// -checkpoint interrupted mid-write can never clobber a good older snapshot
+// with a torn TUSNAP01 container.
+//
+// The failpoint sites snapshot/write (torn payload) and snapshot/fsync
+// (failed sync) let chaos schedules exercise both crash windows.
+func AtomicWriteFile(path string, write func(w io.Writer) error) (err error) {
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		return err
+	}
+	payload := buf.Bytes()
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snapshot: create temp for %s: %w", path, err)
+	}
+	// CreateTemp opens 0600; the artifact should carry the usual 0644 (modulo
+	// umask, like os.Create).
+	tmp.Chmod(0o644)
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	if f := failpoint.Eval(failpoint.SnapshotWrite); f.Kind == failpoint.FailTorn {
+		// Persist a torn prefix, then fail: the temp file is discarded and
+		// path is untouched, which is exactly the crash-safety contract.
+		tmp.Write(payload[:f.CutAt(len(payload))])
+		return fmt.Errorf("snapshot: write %s: %w", path, f.Err())
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return fmt.Errorf("snapshot: write %s: %w", path, err)
+	}
+	if f := failpoint.Eval(failpoint.SnapshotFsync); f.Kind == failpoint.FailError {
+		return fmt.Errorf("snapshot: sync %s: %w", path, f.Err())
+	}
+	if err := tmp.Sync(); err != nil {
+		return fmt.Errorf("snapshot: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("snapshot: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("snapshot: rename %s: %w", path, err)
+	}
+	// Make the rename itself durable. Some platforms cannot fsync a
+	// directory; degrade silently there, the rename is still atomic.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

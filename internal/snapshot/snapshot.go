@@ -18,13 +18,19 @@ package snapshot
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Version is the container format version, bumped on incompatible layout
 // changes. Readers reject snapshots from a different version rather than
 // guessing: a checkpoint is a correctness artifact, not a best-effort cache.
-const Version = 1
+//
+// Version 2 added a CRC-32C checksum over name||payload to every section
+// prefix and an exact-EOF check after the last section, so any corruption of
+// a stored snapshot — bit rot, torn writes, truncation, trailing garbage —
+// is detected at Read instead of silently restoring a wrong run state.
+const Version = 2
 
 // magic identifies a snapshot stream ("ThinUnison SNAPshot").
 var magic = [8]byte{'T', 'U', 'S', 'N', 'A', 'P', '0', '1'}
@@ -40,8 +46,8 @@ type Section struct {
 }
 
 // Write emits the container: magic, version, section count, then each
-// section as (name length, name, payload length, payload), all fixed-width
-// little-endian.
+// section as (name length, CRC-32C of name||payload, payload length, name,
+// payload), all fixed-width little-endian.
 func Write(w io.Writer, sections []Section) error {
 	var hdr [20]byte
 	copy(hdr[:8], magic[:])
@@ -50,13 +56,14 @@ func Write(w io.Writer, sections []Section) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("snapshot: write header: %w", err)
 	}
-	var pfx [12]byte
+	var pfx [16]byte
 	for _, s := range sections {
 		if len(s.Name) == 0 || len(s.Name) > 255 {
 			return fmt.Errorf("snapshot: bad section name %q", s.Name)
 		}
 		binary.LittleEndian.PutUint32(pfx[:4], uint32(len(s.Name)))
-		binary.LittleEndian.PutUint64(pfx[4:12], uint64(len(s.Data)))
+		binary.LittleEndian.PutUint32(pfx[4:8], sectionCRC(s.Name, s.Data))
+		binary.LittleEndian.PutUint64(pfx[8:16], uint64(len(s.Data)))
 		if _, err := w.Write(pfx[:]); err != nil {
 			return fmt.Errorf("snapshot: write section %s: %w", s.Name, err)
 		}
@@ -71,7 +78,8 @@ func Write(w io.Writer, sections []Section) error {
 }
 
 // Read parses a container written by Write, returning the sections by name.
-// It validates magic and version and rejects truncated or oversized input.
+// It validates magic, version and every section's CRC, and rejects
+// truncated, oversized, corrupted or trailing-garbage input.
 func Read(r io.Reader) (map[string][]byte, error) {
 	var hdr [20]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -88,13 +96,14 @@ func Read(r io.Reader) (map[string][]byte, error) {
 		return nil, fmt.Errorf("snapshot: implausible section count %d", count)
 	}
 	out := make(map[string][]byte, count)
-	var pfx [12]byte
+	var pfx [16]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(r, pfx[:]); err != nil {
 			return nil, fmt.Errorf("snapshot: read section prefix: %w", err)
 		}
 		nameLen := binary.LittleEndian.Uint32(pfx[:4])
-		dataLen := binary.LittleEndian.Uint64(pfx[4:12])
+		crc := binary.LittleEndian.Uint32(pfx[4:8])
+		dataLen := binary.LittleEndian.Uint64(pfx[8:16])
 		if nameLen == 0 || nameLen > 255 || dataLen > maxSectionSize {
 			return nil, fmt.Errorf("snapshot: corrupt section prefix (name %d, data %d)", nameLen, dataLen)
 		}
@@ -106,12 +115,32 @@ func Read(r io.Reader) (map[string][]byte, error) {
 		if _, err := io.ReadFull(r, data); err != nil {
 			return nil, fmt.Errorf("snapshot: read section %s: %w", name, err)
 		}
+		if got := sectionCRC(string(name), data); got != crc {
+			return nil, fmt.Errorf("snapshot: section %s checksum mismatch (stored %08x, computed %08x)", name, crc, got)
+		}
 		if _, dup := out[string(name)]; dup {
 			return nil, fmt.Errorf("snapshot: duplicate section %s", name)
 		}
 		out[string(name)] = data
 	}
+	// A snapshot is a whole-file artifact: anything after the last section is
+	// corruption (e.g. a torn rewrite of a shorter snapshot over a longer one).
+	var one [1]byte
+	if _, err := io.ReadFull(r, one[:]); err != io.EOF {
+		return nil, fmt.Errorf("snapshot: trailing bytes after final section")
+	}
 	return out, nil
+}
+
+// crcTable is the Castagnoli polynomial, hardware-accelerated on the
+// platforms the campaigns run on.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// sectionCRC is the per-section checksum: CRC-32C over name then payload,
+// binding the payload to its name so swapped sections are also detected.
+func sectionCRC(name string, data []byte) uint32 {
+	c := crc32.Checksum([]byte(name), crcTable)
+	return crc32.Update(c, crcTable, data)
 }
 
 // Enc builds a section payload out of fixed-width little-endian primitives.
