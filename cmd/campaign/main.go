@@ -26,7 +26,10 @@
 // the checkpoint/restore differential instead: every engine mode ×
 // parallelism × churn combination is run uninterrupted and checkpointed at
 // the halfway step, and the guard fails unless the restored continuation is
-// byte-identical to the uninterrupted run.
+// byte-identical to the uninterrupted run. -daemon-check runs the preset
+// both in-process and through an in-process unisond on a unix socket and
+// fails unless the streamed records are byte-identical — the guard that
+// keeps daemon mode transparent.
 //
 // The campaign harness is itself self-stabilizing (see internal/failpoint):
 // workers are panic-isolated, -retries re-runs transient failures with
@@ -52,10 +55,14 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"thinunison/internal/campaign"
+	"thinunison/internal/daemon"
+	"thinunison/internal/daemon/wire"
+	"thinunison/internal/daemonclient"
 	"thinunison/internal/obs"
 )
 
@@ -137,6 +144,84 @@ func planeCheck(scenarios []campaign.Scenario) int {
 		func(sc *campaign.Scenario) { sc.WordParallel = true })
 }
 
+// daemonCheck is the remote-vs-local differential guard: the preset runs
+// once in-process through the Runner and once through a real unisond — an
+// in-process daemon served on a throwaway unix socket, submitted and
+// streamed over the wire protocol — and the guard fails unless the two
+// JSONL record streams are byte-identical. This is the invariant that makes
+// daemon mode transparent: a client cannot tell (from the records) whether
+// a campaign ran locally or behind the socket.
+func daemonCheck(preset string, seed int64, workers int) int {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	// Local reference: pristine preset expansion, no execution-mode
+	// overrides — exactly what the daemon re-derives on its side.
+	scenarios, err := campaign.Preset(preset, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var local bytes.Buffer
+	runner := &campaign.Runner{
+		Workers: workers,
+		OnRecord: func(rec campaign.Record) {
+			if err == nil {
+				err = campaign.AppendJSONL(&local, rec)
+			}
+		},
+	}
+	if _, rerr := runner.Run(ctx, scenarios); rerr != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check: local run:", rerr)
+		return 1
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check:", err)
+		return 1
+	}
+
+	// Remote side: a real daemon on a unix socket (in a short-lived tempdir;
+	// socket paths have a ~100-byte limit, so not the work dir).
+	dir, err := os.MkdirTemp("", "unisond")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check:", err)
+		return 1
+	}
+	defer os.RemoveAll(dir)
+	srv, err := daemon.New(daemon.Options{Fleet: workers})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check:", err)
+		return 1
+	}
+	sock := filepath.Join(dir, "d.sock")
+	if err := srv.ListenAndServe(sock); err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check:", err)
+		return 1
+	}
+	defer srv.Kill()
+
+	var remote bytes.Buffer
+	spec := wire.SubmitSpec{Preset: preset, Seed: seed, Workers: workers}
+	info, err := daemonclient.New(sock).Run(ctx, spec, &remote)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign: daemon-check:", err)
+		return 1
+	}
+	if info.State != wire.StateDone {
+		fmt.Fprintf(os.Stderr, "campaign: daemon-check: daemon run ended %s (%s)\n", info.State, info.Err)
+		return 1
+	}
+
+	if !bytes.Equal(local.Bytes(), remote.Bytes()) {
+		fmt.Fprintf(os.Stderr, "campaign: daemon-check FAILED: daemon stream differs from local run (%d vs %d bytes)\n",
+			remote.Len(), local.Len())
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "campaign: daemon-check OK: %d scenarios byte-identical locally and through unisond\n",
+		len(scenarios))
+	return 0
+}
+
 // churnCheck is the topology-churn differential guard: every scenario runs
 // once dense on the classic sequential engine (P=1 sharded semantics) and
 // once frontier-sparse sharded at P=8, with the GoodMonitor full-scan
@@ -176,6 +261,7 @@ func run() int {
 		ccheck  = flag.Bool("churn-check", false, "churn differential guard: run every scenario dense-P1 and frontier-P8 with the GoodMonitor full-scan oracle and fail on any divergence, instead of a normal campaign (pair with -preset bio-churn)")
 		pcheck  = flag.Bool("plane-check", false, "word-parallel differential guard: run every scenario scalar and word-parallel and fail if any record differs, instead of a normal campaign")
 		rcheck  = flag.Bool("restore-check", false, "checkpoint differential guard: for every engine mode x parallelism x churn combination, fail unless a run checkpointed and restored at the halfway step is byte-identical to an uninterrupted run (ignores -preset)")
+		dcheck  = flag.Bool("daemon-check", false, "remote-vs-local differential guard: run the preset in-process and through an in-process unisond on a unix socket and fail unless the streamed records are byte-identical, instead of a normal campaign")
 		fork    = flag.String("fork", "", "fork mode: restore this unisonsim checkpoint into -fork-futures perturbed continuations (future f suffers f+1 transient faults) and emit one record per future (ignores -preset)")
 		futures = flag.Int("fork-futures", 8, "number of alternative futures -fork runs")
 		word    = flag.Bool("word", false, "force word-parallel (bit-planed batch) AU execution; falls back to scalar when the algorithm offers no word kernel (records are identical either way)")
@@ -283,6 +369,9 @@ func run() int {
 			return 1
 		}
 		return 0
+	}
+	if *dcheck {
+		return daemonCheck(*preset, *seed, *workers)
 	}
 	if *fork != "" {
 		jsonl := io.Writer(os.Stdout)

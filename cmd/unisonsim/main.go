@@ -12,6 +12,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -19,9 +20,14 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
+	"syscall"
 
 	paperbudget "thinunison/internal/budget"
+	"thinunison/internal/campaign"
 	"thinunison/internal/core"
+	"thinunison/internal/daemon/wire"
+	"thinunison/internal/daemonclient"
 	"thinunison/internal/graph"
 	"thinunison/internal/obs"
 	"thinunison/internal/sched"
@@ -90,8 +96,14 @@ func run() error {
 		checkpointAt = flag.Int("checkpoint-at", 0, "take the -checkpoint snapshot after this many steps (0 = at stabilization)")
 		restorePath  = flag.String("restore", "", "resume a run from this snapshot instead of starting fresh")
 		replayFrom   = flag.String("replay-from", "", "like -restore, but with the round trace forced on: deterministic time-travel replay of the post-checkpoint window")
+
+		remote = flag.String("remote", "", "run on a unisond daemon at this socket instead of in-process (kdo-style deployless remote run)")
 	)
 	flag.Parse()
+
+	if *remote != "" {
+		return runRemote(*remote, *family, *n, *d, *schedName, *seed, *faults)
+	}
 
 	if *replayFrom != "" {
 		*restorePath = *replayFrom
@@ -275,6 +287,47 @@ func run() error {
 			return err
 		}
 		fmt.Printf("engine metrics: %s\n", snap)
+	}
+	return nil
+}
+
+// runRemote ships the run to a unisond daemon: the same -graph/-n/-sched
+// knobs become a one-scenario submission, and the daemon streams back the
+// campaign record JSONL — byte-identical to an in-process campaign run.
+// The interactive round trace stays a local-only feature; remote runs are
+// about outcome records, not step-by-step watching.
+func runRemote(addr, family string, n, d int, schedName string, seed int64, faults int) error {
+	specs := map[string]campaign.SchedulerSpec{
+		"sync":     campaign.Synchronous,
+		"rr":       campaign.RoundRobin,
+		"random":   campaign.RandomSubset,
+		"laggard":  campaign.Laggard,
+		"permuted": campaign.Permuted,
+	}
+	schedSpec, ok := specs[schedName]
+	if !ok {
+		return fmt.Errorf("unknown scheduler %q (want sync|rr|random|laggard|permuted)", schedName)
+	}
+	spec := wire.SubmitSpec{
+		Seed: seed,
+		Scenario: &wire.ScenarioSpec{
+			Family:    family,
+			N:         n,
+			D:         d,
+			Scheduler: schedSpec,
+			Algorithm: "au",
+			Faults:    campaign.FaultSpec{Count: faults},
+			Trials:    1,
+		},
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	info, err := daemonclient.New(addr).Run(ctx, spec, os.Stdout)
+	if err != nil {
+		return err
+	}
+	if info.State != wire.StateDone {
+		return fmt.Errorf("remote run %s ended %s: %s", info.ID, info.State, info.Err)
 	}
 	return nil
 }

@@ -1,0 +1,65 @@
+package campaign
+
+import (
+	"context"
+	"testing"
+
+	"thinunison/internal/graph"
+)
+
+// TestPollingCondCancelLatency pins the cancellation latency of the run
+// loops in poll calls — and the cond is evaluated once per engine step, so
+// this is cancel latency in steps. Large scenarios (>= pollStride nodes)
+// must see a cancel on the very next poll: at n = 1e5 every extra step is
+// ~10^5 node updates of dead work after a daemon cancel. Small scenarios
+// keep the sparse every-128th check.
+func TestPollingCondCancelLatency(t *testing.T) {
+	for _, tc := range []struct {
+		name     string
+		n        int
+		maxPolls int
+	}{
+		{"large_one_step", pollStride, 1},
+		{"huge_one_step", 100_000, 1},
+		{"small_within_128", 8, 128},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel() // cancel already landed; measure polls until the loop sees it
+			cancelled := false
+			cond := pollingCond(ctx, &cancelled, tc.n, func() bool { return false })
+			polls := 0
+			for !cond() {
+				if polls++; polls > tc.maxPolls {
+					t.Fatalf("cancel not seen after %d polls (n=%d allows %d)", polls, tc.n, tc.maxPolls)
+				}
+			}
+			if !cancelled {
+				t.Fatal("cond fired without recording cancellation")
+			}
+		})
+	}
+}
+
+// TestExecuteCancelLargeN drives the latency pin end-to-end: a large-n
+// scenario under an already-cancelled context must come back as a cancelled
+// record after at most one step — the engine must not burn a 128-step
+// stride of Θ(n) work first.
+func TestExecuteCancelLargeN(t *testing.T) {
+	sc := Scenario{
+		Family:    graph.FamilyStar,
+		N:         pollStride,
+		Scheduler: Synchronous,
+		Algorithm: AlgAU,
+	}
+	scs := Finalize(1, []Scenario{sc})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rec := Execute(ctx, scs[0])
+	if !rec.Cancelled() {
+		t.Fatalf("record not cancelled: ok=%v err=%q", rec.OK, rec.Err)
+	}
+	if rec.Steps > 1 {
+		t.Fatalf("cancel latency %d steps at n=%d, want <= 1", rec.Steps, sc.N)
+	}
+}

@@ -278,18 +278,33 @@ func faultBursts(f FaultSpec) int {
 	return f.Bursts
 }
 
+// pollStride is the node count above which pollingCond checks the context on
+// every poll instead of every 128th. The cond is evaluated once per engine
+// step, so the stride converts directly into cancel latency in steps: at
+// n = 1e5 a 128-step stride is ~10^7 node updates of dead work after a
+// daemon cancel, while the ctx.Err() load is noise next to a single large-n
+// step. Small scenarios keep the sparse check — there a step costs tens of
+// nanoseconds and 128 steps of latency is still instant.
+const pollStride = 4096
+
 // pollingCond wraps a stabilization predicate with a periodic context check,
-// so long runs abort promptly on cancellation. The flag records whether the
-// wrapped predicate fired because of cancellation rather than stabilization.
+// so long runs abort promptly on cancellation: within one step boundary for
+// scenarios of pollStride nodes or more, within 128 steps below. The flag
+// records whether the wrapped predicate fired because of cancellation rather
+// than stabilization. n is the scenario's node count.
 //
 // The campaign/poll failpoint site lives here rather than inside the engine
 // step: the poll layer has the run context, so an injected stall blocks
 // interruptibly and the watchdog (or a timeout) can cut it short.
-func pollingCond(ctx context.Context, cancelled *bool, inner func() bool) func() bool {
+func pollingCond(ctx context.Context, cancelled *bool, n int, inner func() bool) func() bool {
+	mask := 127
+	if n >= pollStride {
+		mask = 0
+	}
 	calls := 0
 	return func() bool {
 		calls++
-		if calls&127 == 0 && ctx.Err() != nil {
+		if calls&mask == 0 && ctx.Err() != nil {
 			*cancelled = true
 			return true
 		}
@@ -412,7 +427,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 			return got
 		}
 	}
-	good := pollingCond(ctx, &cancelled, verdict)
+	good := pollingCond(ctx, &cancelled, sc.N, verdict)
 	failOracle := func() bool {
 		if oracleBad {
 			rec.OK = false
@@ -435,7 +450,7 @@ func runAU(ctx context.Context, sc Scenario, g *graph.Graph, d int, rng *rand.Ra
 	// quiescent rounds between fault events, abortable via the polling
 	// cancellation cond. ErrBudgetExhausted is the normal outcome — the
 	// "budget" here is exactly the stretch length.
-	abort := pollingCond(ctx, &cancelled, soakAbort)
+	abort := pollingCond(ctx, &cancelled, sc.N, soakAbort)
 	var soakErr error
 	soak := func() bool {
 		if sc.Faults.SoakRounds <= 0 {
@@ -602,7 +617,7 @@ func runSyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph,
 		return t.eval(g, eng.View(), v)
 	})
 	cancelled := false
-	stable := pollingCond(ctx, &cancelled, func() bool {
+	stable := pollingCond(ctx, &cancelled, sc.N, func() bool {
 		chk.Recheck(eng.Changed())
 		return t.stable(chk)
 	})
@@ -685,7 +700,7 @@ func runAsyncTask[S comparable](ctx context.Context, sc Scenario, g *graph.Graph
 		func(st synchronizer.State[restart.State[S]]) restart.State[S] { return st.Cur },
 		func(pi []restart.State[S], v int) (bool, int) { return t.eval(g, pi, v) })
 	cancelled := false
-	stable := pollingCond(ctx, &cancelled, func() bool {
+	stable := pollingCond(ctx, &cancelled, sc.N, func() bool {
 		prj.Update(eng.Changed())
 		return t.stable(prj.Checker())
 	})

@@ -1,0 +1,302 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"thinunison/internal/campaign"
+	"thinunison/internal/daemon/wire"
+	"thinunison/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire fixtures in testdata")
+
+// goldenCases is one instance of every frame type the protocol ever puts on
+// the wire, with every field class exercised at least once. The encoded
+// frames are pinned byte-for-byte in testdata: an encoding change (field
+// rename, reordering, framing tweak) fails this test and forces a deliberate
+// fixture update plus a wire.Version bump decision.
+func goldenCases() []struct {
+	name string
+	v    any
+} {
+	snap := obs.Snapshot{Steps: 64, Rounds: 8}
+	return []struct {
+		name string
+		v    any
+	}{
+		{"request_ping", wire.Request{V: wire.Version, Op: wire.OpPing}},
+		{"request_submit_preset", wire.Request{V: wire.Version, Op: wire.OpSubmit, Submit: &wire.SubmitSpec{
+			ID: "night-soak", Preset: "smoke", Seed: 42, Workers: 2,
+		}}},
+		{"request_submit_scenario", wire.Request{V: wire.Version, Op: wire.OpSubmit, Submit: &wire.SubmitSpec{
+			Seed: 7,
+			Scenario: &wire.ScenarioSpec{
+				Family:    "cycle",
+				N:         64,
+				D:         8,
+				Scheduler: campaign.RandomSubset,
+				Algorithm: "au",
+				Faults:    campaign.FaultSpec{Count: 3, Bursts: 2},
+				Churn:     campaign.ChurnSpec{Period: 16, Flips: 2, Events: 4},
+				Trials:    3,
+			},
+			Parallelism: 4, Frontier: 1, WordParallel: true,
+		}}},
+		{"request_attach", wire.Request{V: wire.Version, Op: wire.OpAttach, Run: "r3", From: 17}},
+		{"request_cancel", wire.Request{V: wire.Version, Op: wire.OpCancel, Run: "r3"}},
+		{"request_status", wire.Request{V: wire.Version, Op: wire.OpStatus, Run: "r3"}},
+		{"request_list", wire.Request{V: wire.Version, Op: wire.OpList}},
+		{"request_metrics", wire.Request{V: wire.Version, Op: wire.OpMetrics}},
+		{"request_shutdown", wire.Request{V: wire.Version, Op: wire.OpShutdown, Drain: true}},
+		{"response_ok", wire.Response{OK: true}},
+		{"response_error", wire.Response{Err: "daemon: busy: fleet saturated and admission queue full"}},
+		{"response_run", wire.Response{OK: true, Run: &wire.RunInfo{
+			ID: "r3", State: wire.StateRunning, Preset: "smoke", Seed: 42,
+			Scenarios: 9, Done: 4, Failures: 1, Recovered: 2,
+		}}},
+		{"response_runs", wire.Response{OK: true, Runs: []wire.RunInfo{
+			{ID: "r0", State: wire.StateDone, Seed: 1, Scenarios: 2, Done: 2},
+			{ID: "r1", State: wire.StateFailed, Seed: 1, Scenarios: 2, Done: 1, Err: "daemon: 1 of 2 scenario(s) failed"},
+		}}},
+		{"response_metrics", wire.Response{OK: true, Metrics: &snap}},
+		{"event_record", wire.Event{Seq: 5, Type: wire.EventRecord, Dropped: 2,
+			Record: json.RawMessage(`{"family":"cycle","n":64,"ok":true}`)}},
+		{"event_metrics", wire.Event{Type: wire.EventMetrics, Metrics: &snap}},
+		{"event_eof", wire.Event{Type: wire.EventEOF, Run: &wire.RunInfo{
+			ID: "r3", State: wire.StateCancelled, Seed: 42, Scenarios: 9, Done: 4,
+		}}},
+	}
+}
+
+// TestGoldenFrames pins the wire encoding of every frame type: the framed
+// bytes must match the committed fixtures exactly, and decoding a fixture
+// must reproduce the original value.
+func TestGoldenFrames(t *testing.T) {
+	for _, tc := range goldenCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := wire.WriteFrame(&buf, tc.v); err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", tc.name+".frame")
+			if *update {
+				if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing fixture (run with -update to regenerate): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("encoded frame differs from pinned fixture %s:\n got %q\nwant %q",
+					path, buf.Bytes(), want)
+			}
+
+			// Decode the fixture through the typed reader for its frame class
+			// and compare against the original value.
+			r := bytes.NewReader(want)
+			var got any
+			switch v := tc.v.(type) {
+			case wire.Request:
+				got, err = wire.ReadRequest(r)
+			case wire.Response:
+				got, err = wire.ReadResponse(r)
+			case wire.Event:
+				got, err = wire.ReadEvent(r)
+			default:
+				t.Fatalf("unhandled frame type %T", v)
+			}
+			if err != nil {
+				t.Fatalf("decode fixture: %v", err)
+			}
+			if !reflect.DeepEqual(got, tc.v) {
+				t.Errorf("fixture did not round-trip:\n got %#v\nwant %#v", got, tc.v)
+			}
+		})
+	}
+}
+
+// frame builds raw framed bytes around an arbitrary payload.
+func frame(payload []byte) []byte {
+	buf := make([]byte, 4, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	return append(buf, payload...)
+}
+
+// TestReadFrameErrors drives the decoder through every malformed-input
+// class: each must fail loudly with a descriptive error, never panic, and a
+// clean EOF must pass through untouched (that is how attach streams end).
+func TestReadFrameErrors(t *testing.T) {
+	cases := []struct {
+		name  string
+		data  []byte
+		errIs error  // optional sentinel
+		want  string // optional substring
+	}{
+		{name: "clean_eof", data: nil, errIs: io.EOF},
+		{name: "truncated_header", data: []byte{0, 0, 1}, want: "truncated frame header"},
+		{name: "empty_frame", data: frame(nil), want: "empty frame"},
+		{name: "oversized_prefix", data: []byte{0xFF, 0xFF, 0xFF, 0xFF}, errIs: wire.ErrTooLarge},
+		{name: "truncated_payload", data: frame([]byte(`{"op":"ping"`))[:10], want: "truncated frame payload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := wire.ReadFrame(bytes.NewReader(tc.data))
+			if err == nil {
+				t.Fatal("decoder accepted malformed input")
+			}
+			if tc.errIs != nil && !errors.Is(err, tc.errIs) {
+				t.Errorf("error %v, want %v", err, tc.errIs)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestTypedReaderValidation pins the semantic checks above raw framing:
+// garbage JSON, version skew, missing op, missing event type.
+func TestTypedReaderValidation(t *testing.T) {
+	if _, err := wire.ReadRequest(bytes.NewReader(frame([]byte("not json")))); err == nil ||
+		!strings.Contains(err.Error(), "bad request frame") {
+		t.Errorf("garbage request: %v", err)
+	}
+	if _, err := wire.ReadRequest(bytes.NewReader(frame([]byte(`{"v":99,"op":"ping"}`)))); err == nil ||
+		!strings.Contains(err.Error(), "protocol version 99") {
+		t.Errorf("version skew: %v", err)
+	}
+	if _, err := wire.ReadRequest(bytes.NewReader(frame([]byte(`{"v":1}`)))); err == nil ||
+		!strings.Contains(err.Error(), "without op") {
+		t.Errorf("missing op: %v", err)
+	}
+	if _, err := wire.ReadEvent(bytes.NewReader(frame([]byte(`{"seq":1}`)))); err == nil ||
+		!strings.Contains(err.Error(), "without type") {
+		t.Errorf("missing event type: %v", err)
+	}
+	if _, err := wire.ReadResponse(bytes.NewReader(frame([]byte(`[1,2]`)))); err == nil ||
+		!strings.Contains(err.Error(), "bad response frame") {
+		t.Errorf("mistyped response: %v", err)
+	}
+}
+
+// TestWriteFrameTooLarge: oversized payloads are rejected on the way out,
+// before any header byte hits the wire.
+func TestWriteFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	big := wire.Event{Type: wire.EventRecord, Record: json.RawMessage(`"` + strings.Repeat("x", wire.MaxFrame) + `"`)}
+	if err := wire.WriteFrame(&buf, big); !errors.Is(err, wire.ErrTooLarge) {
+		t.Fatalf("oversized write: %v, want ErrTooLarge", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized write emitted %d bytes", buf.Len())
+	}
+}
+
+// TestFrameStreaming: consecutive frames on one stream decode in order with
+// no bleed-over — the framing invariant attach streams depend on.
+func TestFrameStreaming(t *testing.T) {
+	var buf bytes.Buffer
+	events := []wire.Event{
+		{Seq: 1, Type: wire.EventRecord, Record: json.RawMessage(`{"i":1}`)},
+		{Type: wire.EventMetrics, Metrics: &obs.Snapshot{Steps: 3}},
+		{Type: wire.EventEOF},
+	}
+	for _, ev := range events {
+		if err := wire.WriteFrame(&buf, ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range events {
+		got, err := wire.ReadEvent(&buf)
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("event %d: got %#v want %#v", i, got, want)
+		}
+	}
+	if _, err := wire.ReadEvent(&buf); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// FuzzReadFrame: arbitrary bytes must never panic the framing layer, and
+// whatever parses must re-frame to bytes that parse back identically.
+func FuzzReadFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := wire.WriteFrame(&seed, wire.Request{V: wire.Version, Op: wire.OpPing}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'x'})
+	f.Add(frame(nil))
+	f.Add(frame([]byte(`{"v":1,"op":"ping"}`))[:7])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := wire.ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(payload) == 0 || len(payload) > wire.MaxFrame {
+			t.Fatalf("accepted out-of-bounds payload length %d", len(payload))
+		}
+		again, err := wire.ReadFrame(bytes.NewReader(frame(payload)))
+		if err != nil {
+			t.Fatalf("re-framed payload failed to parse: %v", err)
+		}
+		if !bytes.Equal(again, payload) {
+			t.Fatal("re-framed payload changed")
+		}
+	})
+}
+
+// FuzzReadRequest: the typed decoder on arbitrary bytes must never panic,
+// and every accepted request must carry the exact protocol version and an
+// op, and survive an encode/decode round-trip.
+func FuzzReadRequest(f *testing.F) {
+	for _, tc := range goldenCases() {
+		if _, ok := tc.v.(wire.Request); !ok {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := wire.WriteFrame(&buf, tc.v); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add(frame([]byte(`{"v":1,"op":"submit","submit":{"preset":"smoke"}}`)))
+	f.Add(frame([]byte(`{"v":2,"op":"ping"}`)))
+	f.Add(frame([]byte(`null`)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := wire.ReadRequest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if req.V != wire.Version || req.Op == "" {
+			t.Fatalf("accepted invalid request %#v", req)
+		}
+		var buf bytes.Buffer
+		if err := wire.WriteFrame(&buf, req); err != nil {
+			t.Fatalf("re-encode accepted request: %v", err)
+		}
+		again, err := wire.ReadRequest(&buf)
+		if err != nil {
+			t.Fatalf("re-decode re-encoded request: %v", err)
+		}
+		if again.V != req.V || again.Op != req.Op || again.Run != req.Run || again.From != req.From {
+			t.Fatalf("round-trip changed request: %#v != %#v", again, req)
+		}
+	})
+}
